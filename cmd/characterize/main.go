@@ -1,0 +1,17 @@
+// Command characterize reproduces the Section 2.2 workload
+// characterization: allocation sizes (Fig 2), lifetimes (Fig 3), and the
+// joint distribution (Table 1), straight from the generated traces without
+// running timing simulations.
+package main
+
+import (
+	"fmt"
+
+	"memento/internal/experiments"
+)
+
+func main() {
+	fmt.Println(experiments.Fig2AllocationSizes().Render())
+	fmt.Println(experiments.Fig3Lifetimes().Render())
+	fmt.Println(experiments.Table1Joint().Render())
+}

@@ -1,0 +1,40 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation and prints them with the paper's reported values alongside.
+//
+// Usage:
+//
+//	experiments            # all tables and figures (full sweep, ~1 min)
+//	experiments -only fig8 # a single experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"memento"
+)
+
+func main() {
+	only := flag.String("only", "", "run a single experiment by id (fig2..fig14, table1..table3, sec6.1-iso, sec6.6-*, sec6.7-mallacc)")
+	flag.Parse()
+
+	exps, err := memento.RunAllExperiments(memento.DefaultConfig())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	printed := 0
+	for _, e := range exps {
+		if *only != "" && !strings.EqualFold(e.ID, *only) {
+			continue
+		}
+		fmt.Println(e.Render())
+		printed++
+	}
+	if printed == 0 {
+		fmt.Fprintf(os.Stderr, "experiments: no experiment matches %q\n", *only)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,67 @@
+// Command mementosim runs one benchmark on the baseline and Memento stacks
+// and prints the comparison: speedup, cycle breakdown, DRAM traffic, memory
+// usage, and HOT statistics.
+//
+// Usage:
+//
+//	mementosim -workload html [-cold] [-populate]
+//	mementosim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"memento"
+)
+
+func main() {
+	var (
+		name     = flag.String("workload", "html", "benchmark name (see -list)")
+		cold     = flag.Bool("cold", false, "cold-start the function (container setup on the critical path)")
+		populate = flag.Bool("populate", false, "force MAP_POPULATE on baseline mmaps (Section 6.6)")
+		list     = flag.Bool("list", false, "list benchmark names and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, p := range memento.Workloads() {
+			fmt.Printf("%-10s %-8s %-9s %s\n", p.Name, p.Lang, p.Class, p.Suite)
+		}
+		return
+	}
+
+	cfg := memento.DefaultConfig()
+	opt := memento.Options{ColdStart: *cold, MmapPopulate: *populate}
+	base, mem, err := memento.Compare(cfg, *name, opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mementosim:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("workload %s (%s)\n\n", *name, base.Lang)
+	row := func(label string, b, m uint64) {
+		fmt.Printf("  %-22s %14d %14d\n", label, b, m)
+	}
+	fmt.Printf("  %-22s %14s %14s\n", "", "baseline", "memento")
+	row("total cycles", base.Cycles, mem.Cycles)
+	row("app compute", base.Buckets.AppCompute, mem.Buckets.AppCompute)
+	row("app memory", base.Buckets.AppMem, mem.Buckets.AppMem)
+	row("user alloc", base.Buckets.UserAlloc, mem.Buckets.UserAlloc)
+	row("user free", base.Buckets.UserFree, mem.Buckets.UserFree)
+	row("kernel MM", base.Buckets.Kernel, mem.Buckets.Kernel)
+	row("hw page mgmt", base.Buckets.PageMgmt, mem.Buckets.PageMgmt)
+	row("GC", base.Buckets.GC, mem.Buckets.GC)
+	row("DRAM bytes", base.DRAM.TotalBytes(), mem.DRAM.TotalBytes())
+	row("pages (user)", base.UserPages, mem.UserPages)
+	row("pages (kernel)", base.KernelPages, mem.KernelPages)
+	row("page faults", base.Kernel.PageFaults, mem.Kernel.PageFaults)
+
+	fmt.Printf("\n  speedup:            %.3fx\n", memento.Speedup(base, mem))
+	fmt.Printf("  DRAM traffic saved: %.1f%%\n",
+		100*(1-float64(mem.DRAM.TotalBytes())/float64(base.DRAM.TotalBytes())))
+	fmt.Printf("  HOT hit rates:      alloc %.1f%%  free %.1f%%\n",
+		100*mem.HOT.AllocHitRate(), 100*mem.HOT.FreeHitRate())
+	fmt.Printf("  bypassed lines:     %d\n", mem.HOT.BypassedLines)
+}

@@ -1,0 +1,49 @@
+// Command tracegen generates a workload's memory-management event trace
+// and writes it as JSON, for inspection or replay with RunTrace.
+//
+// Usage:
+//
+//	tracegen -workload html -o html.trace.json
+//	tracegen -workload html          # to stdout
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"memento"
+)
+
+func main() {
+	var (
+		name = flag.String("workload", "html", "benchmark name")
+		out  = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	tr, err := memento.GenerateTrace(*name)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := tr.Encode(w); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+	if *out != "" {
+		s := tr.Summarize()
+		fmt.Printf("wrote %s: %d events (%d allocs, %d frees, %d touches)\n",
+			*out, len(tr.Events), s.Allocs, s.Frees, s.Touches)
+	}
+}

@@ -1,0 +1,44 @@
+package memento_test
+
+import (
+	"fmt"
+
+	"memento"
+)
+
+// ExampleCompare runs one serverless function on the baseline software
+// stack and on Memento and reports where the savings come from.
+func ExampleCompare() {
+	cfg := memento.DefaultConfig()
+	base, mem, err := memento.Compare(cfg, "aes", memento.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("faster: %v\n", mem.Cycles < base.Cycles)
+	fmt.Printf("hardware allocations: %v\n", mem.HOT.Allocs > 0)
+	fmt.Printf("kernel faults removed: %v\n", mem.Kernel.PageFaults < base.Kernel.PageFaults)
+	// Output:
+	// faster: true
+	// hardware allocations: true
+	// kernel faults removed: true
+}
+
+// ExampleGenerateTrace inspects a workload's event stream.
+func ExampleGenerateTrace() {
+	tr, err := memento.GenerateTrace("jl")
+	if err != nil {
+		panic(err)
+	}
+	s := tr.Summarize()
+	fmt.Printf("allocs=%d frees<=allocs=%v\n", s.Allocs, s.Frees <= s.Allocs)
+	// Output:
+	// allocs=24000 frees<=allocs=true
+}
+
+// ExampleWorkloadNames lists the benchmark suite.
+func ExampleWorkloadNames() {
+	names := memento.WorkloadNames()
+	fmt.Println(len(names), names[0], names[len(names)-1])
+	// Output:
+	// 23 html invoke
+}

@@ -1,0 +1,257 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"memento/internal/config"
+	"memento/internal/dram"
+)
+
+func newHierarchy() *Hierarchy {
+	m := config.Default()
+	return NewHierarchy(m, dram.New(m.DRAM))
+}
+
+func TestCacheHitAfterInsert(t *testing.T) {
+	c := NewCache(config.CacheConfig{Name: "t", SizeBytes: 4096, Ways: 4, LatencyCycles: 1})
+	if c.Lookup(42, false) {
+		t.Fatal("empty cache should miss")
+	}
+	c.Insert(42, false)
+	if !c.Lookup(42, false) {
+		t.Fatal("inserted line should hit")
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	// 2-way cache with 2 sets: lines 0,2,4 map to set 0.
+	c := NewCache(config.CacheConfig{Name: "t", SizeBytes: 4 * config.LineSize, Ways: 2, LatencyCycles: 1})
+	c.Insert(0, false)
+	c.Insert(2, false)
+	c.Lookup(0, false) // make line 0 MRU
+	v, _, ev := c.Insert(4, false)
+	if !ev {
+		t.Fatal("full set should evict")
+	}
+	if v != 2 {
+		t.Fatalf("victim = %d, want 2 (the LRU line)", v)
+	}
+	if !c.Contains(0) || !c.Contains(4) || c.Contains(2) {
+		t.Fatal("post-eviction contents wrong")
+	}
+}
+
+func TestCacheDirtyVictim(t *testing.T) {
+	c := NewCache(config.CacheConfig{Name: "t", SizeBytes: 2 * config.LineSize, Ways: 1, LatencyCycles: 1})
+	c.Insert(0, true)
+	_, dirty, ev := c.Insert(2, false) // same set (2 sets: line 2 -> set 0)
+	if !ev || !dirty {
+		t.Fatalf("eviction of dirty line: ev=%v dirty=%v", ev, dirty)
+	}
+}
+
+func TestCacheWriteMarksDirty(t *testing.T) {
+	c := NewCache(config.CacheConfig{Name: "t", SizeBytes: 2 * config.LineSize, Ways: 1, LatencyCycles: 1})
+	c.Insert(0, false)
+	c.Lookup(0, true) // write hit
+	_, dirty, _ := c.Insert(2, false)
+	if !dirty {
+		t.Fatal("write hit should have marked the line dirty")
+	}
+}
+
+func TestCacheInvalidate(t *testing.T) {
+	c := NewCache(config.CacheConfig{Name: "t", SizeBytes: 4096, Ways: 4, LatencyCycles: 1})
+	c.Insert(7, true)
+	dirty, present := c.Invalidate(7)
+	if !present || !dirty {
+		t.Fatalf("invalidate: present=%v dirty=%v", present, dirty)
+	}
+	if c.Contains(7) {
+		t.Fatal("line should be gone")
+	}
+	_, present = c.Invalidate(7)
+	if present {
+		t.Fatal("second invalidate should find nothing")
+	}
+}
+
+func TestCacheInsertRefreshesExisting(t *testing.T) {
+	c := NewCache(config.CacheConfig{Name: "t", SizeBytes: 4096, Ways: 4, LatencyCycles: 1})
+	c.Insert(9, false)
+	_, _, ev := c.Insert(9, true)
+	if ev {
+		t.Fatal("re-inserting an existing line must not evict")
+	}
+	dirty, _ := c.Invalidate(9)
+	if !dirty {
+		t.Fatal("re-insert with dirty=true should have marked dirty")
+	}
+}
+
+func TestHierarchyLatencies(t *testing.T) {
+	h := newHierarchy()
+	coldLat := h.Access(0x10000, false)
+	warmLat := h.Access(0x10000, false)
+	if warmLat != 2 {
+		t.Fatalf("L1 hit latency = %d, want 2", warmLat)
+	}
+	if coldLat <= 2+14+40 {
+		t.Fatalf("cold access latency = %d, must include DRAM", coldLat)
+	}
+	s := h.Stats()
+	if s.L1Hits != 1 || s.L1Misses != 1 || s.LLCMisses != 1 {
+		t.Fatalf("stats wrong: %+v", s)
+	}
+}
+
+func TestHierarchyDRAMTraffic(t *testing.T) {
+	h := newHierarchy()
+	h.Access(0, false)
+	if h.Mem.Stats().ReadBytes != config.LineSize {
+		t.Fatalf("cold miss should read one line from DRAM, got %d bytes", h.Mem.Stats().ReadBytes)
+	}
+	h.Access(0, false)
+	if h.Mem.Stats().ReadBytes != config.LineSize {
+		t.Fatal("warm access must not touch DRAM")
+	}
+}
+
+func TestInstallZeroAvoidsDRAMRead(t *testing.T) {
+	h := newHierarchy()
+	lat := h.InstallZero(0x40000, true)
+	if h.Mem.Stats().Reads != 0 {
+		t.Fatal("InstallZero must not read DRAM")
+	}
+	if lat != 2+14+40 {
+		t.Fatalf("InstallZero latency = %d, want L1+L2+LLC = 56", lat)
+	}
+	s := h.Stats()
+	if s.BypassFills != 1 {
+		t.Fatalf("bypass fills = %d, want 1", s.BypassFills)
+	}
+	// Second access hits in L1.
+	if got := h.Access(0x40000, false); got != 2 {
+		t.Fatalf("subsequent access = %d cycles, want 2", got)
+	}
+}
+
+func TestInstallZeroOnCachedLineFallsBack(t *testing.T) {
+	h := newHierarchy()
+	h.Access(0x40000, true)
+	before := h.Stats().BypassFills
+	h.InstallZero(0x40000, true)
+	if h.Stats().BypassFills != before {
+		t.Fatal("InstallZero on a cached line must degrade to a normal access")
+	}
+}
+
+func TestBypassedLineWritesBackOnEviction(t *testing.T) {
+	m := config.Default()
+	// Tiny LLC to force evictions quickly.
+	m.L1D = config.CacheConfig{Name: "L1D", SizeBytes: 2 * config.LineSize, Ways: 1, LatencyCycles: 2}
+	m.L2 = config.CacheConfig{Name: "L2", SizeBytes: 4 * config.LineSize, Ways: 1, LatencyCycles: 14}
+	m.LLC = config.CacheConfig{Name: "LLC", SizeBytes: 8 * config.LineSize, Ways: 1, LatencyCycles: 40}
+	h := NewHierarchy(m, dram.New(m.DRAM))
+	h.InstallZero(0, true)
+	// Blow the LLC set 0 with conflicting lines.
+	for i := uint64(1); i < 64; i++ {
+		h.Access(i*8*config.LineSize, false)
+	}
+	if h.Mem.Stats().Writes == 0 {
+		t.Fatal("evicting the zero-filled dirty line must write it back to DRAM")
+	}
+}
+
+func TestFlushLineWritesBackDirty(t *testing.T) {
+	h := newHierarchy()
+	h.Access(0x1000, true)
+	cycles := h.FlushLine(0x1000)
+	if cycles == 0 {
+		t.Fatal("flushing a dirty line should cost a writeback")
+	}
+	if h.Mem.Stats().Writes != 1 {
+		t.Fatalf("writes = %d, want 1", h.Mem.Stats().Writes)
+	}
+	if h.L1D.Contains(0x1000 >> config.LineShift) {
+		t.Fatal("line must be gone after flush")
+	}
+}
+
+func TestDropLineDiscardsWithoutWriteback(t *testing.T) {
+	h := newHierarchy()
+	h.Access(0x2000, true)
+	h.DropLine(0x2000)
+	if h.Mem.Stats().Writes != 0 {
+		t.Fatal("DropLine must not write back")
+	}
+	if h.L1D.Contains(0x2000 >> config.LineShift) {
+		t.Fatal("line must be gone after drop")
+	}
+}
+
+func TestHierarchyWorkingSetFitsInLLC(t *testing.T) {
+	h := newHierarchy()
+	// 1 MiB working set < 2 MiB LLC: second pass should not reach DRAM.
+	for pa := uint64(0); pa < 1<<20; pa += config.LineSize {
+		h.Access(pa, false)
+	}
+	reads := h.Mem.Stats().Reads
+	for pa := uint64(0); pa < 1<<20; pa += config.LineSize {
+		h.Access(pa, false)
+	}
+	if h.Mem.Stats().Reads != reads {
+		t.Fatalf("second pass over LLC-resident set hit DRAM: %d -> %d reads",
+			reads, h.Mem.Stats().Reads)
+	}
+}
+
+// Property: a cache never holds more valid lines than its capacity, and
+// Lookup immediately after Insert always hits.
+func TestCacheInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := config.CacheConfig{Name: "p", SizeBytes: 16 * config.LineSize, Ways: 2, LatencyCycles: 1}
+		c := NewCache(cfg)
+		inserted := make(map[uint64]bool)
+		for i := 0; i < 300; i++ {
+			la := uint64(rng.Intn(64))
+			c.Insert(la, rng.Intn(2) == 0)
+			inserted[la] = true
+			if !c.Lookup(la, false) {
+				return false // must hit right after insert
+			}
+		}
+		// Count valid lines via Contains over the universe.
+		valid := 0
+		for la := uint64(0); la < 64; la++ {
+			if c.Contains(la) {
+				valid++
+			}
+		}
+		return valid <= 16
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: hierarchy latency is always at least the L1 latency and DRAM read
+// traffic only grows.
+func TestHierarchyMonotoneTraffic(t *testing.T) {
+	h := newHierarchy()
+	var last uint64
+	f := func(pa uint64, write bool) bool {
+		pa %= 1 << 30
+		lat := h.Access(pa, write)
+		s := h.Mem.Stats()
+		ok := lat >= 2 && s.ReadBytes >= last
+		last = s.ReadBytes
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,419 @@
+package core
+
+import (
+	"errors"
+
+	"memento/internal/config"
+	"memento/internal/kernel"
+)
+
+// Mem is physically-addressed memory (the cache hierarchy); the page
+// allocator sits on the memory controller and its page-table traffic goes
+// through it.
+type Mem interface {
+	Access(pa uint64, write bool) uint64
+}
+
+// ErrRegionExhausted is returned when a size-class stripe runs out of
+// virtual addresses.
+var ErrRegionExhausted = errors.New("core: memento region stripe exhausted")
+
+// ErrPoolEmpty is returned when the physical page pool cannot be
+// replenished.
+var ErrPoolEmpty = errors.New("core: physical page pool exhausted")
+
+// PageAllocStats counts hardware page allocator activity.
+type PageAllocStats struct {
+	// ArenaRequests counts arenas handed to the object allocator.
+	ArenaRequests uint64
+	// ArenaFrees counts arenas reclaimed after their last object died.
+	ArenaFrees uint64
+	// PagesBacked counts physical pages assigned to arena VAs.
+	PagesBacked uint64
+	// PagesReclaimed counts pages returned to the pool by arena frees.
+	PagesReclaimed uint64
+	// PeakResidentPages is the high-water mark of simultaneously backed
+	// arena pages (the pricing model's memory term, §6.5).
+	PeakResidentPages uint64
+	// Walks counts flagged page walks serviced at the memory controller.
+	Walks uint64
+	// WalkBackings counts walks that allocated a page (first touch).
+	WalkBackings uint64
+	// WalkCycles accumulates the critical-path cycles of all flagged walks.
+	WalkCycles uint64
+	// BackingCycles accumulates the cycles of walks that backed a page —
+	// the hardware replacement for kernel page-fault handling, attributed
+	// to Fig 9's page-mgmt category.
+	BackingCycles uint64
+	// PoolRefills counts OS replenishments of the page pool.
+	PoolRefills uint64
+	// BackgroundCycles is OS work performed off the critical path
+	// (pool replenishment).
+	BackgroundCycles uint64
+	// AACHits and AACMisses track the Arena Allocation Cache.
+	AACHits, AACMisses uint64
+	// TablePages is the current number of Memento page-table pages.
+	TablePages uint64
+	// Shootdowns counts TLB shootdowns issued on arena frees.
+	Shootdowns uint64
+}
+
+// mptNode is one node of the hardware-built Memento page table. The table
+// pages come from the physical page pool, so walks touch real simulated
+// addresses.
+type mptNode struct {
+	pfn      uint64
+	children []*mptNode
+	pte      []uint64 // leaf: pfn+1, 0 = invalid
+}
+
+const mptLevels = 4
+const mptFanout = 512
+
+// PageAllocator is Memento's hardware page allocator (Section 3.2). It
+// lives at the memory controller and (i) allocates arena virtual addresses
+// by bumping per-size-class pointers cached in the AAC, and (ii) backs
+// arena pages with physical memory from a small pool the OS replenishes,
+// building the Memento page table (rooted at the MPTR register) during
+// flagged page walks.
+type PageAllocator struct {
+	cfg    config.Machine
+	layout *Layout
+	mem    Mem
+	k      *kernel.Kernel
+
+	// pool is the free physical page pool.
+	pool []uint64
+	// bump[c] is the next arena VA for class c (the per-size-class pointer;
+	// the AAC caches the hot entries).
+	bump []uint64
+	// aacResident[c] marks classes whose bump pointer is AAC-resident; the
+	// AAC is direct-mapped with one slot per recently used class, and with
+	// 32 entries for 64 classes two classes alias per slot.
+	aacSlots []int
+	// root is the MPTR-rooted Memento page table for the process.
+	root *mptNode
+	// shootdownVec tracks which cores have walked this address space
+	// (Section 3.2's per-process hardware bit vector).
+	shootdownVec uint64
+	// Shootdown is invoked per reclaimed VPN so the owner invalidates TLBs.
+	Shootdown func(vpn uint64)
+
+	stats PageAllocStats
+	// residentPages tracks currently backed arena pages for the peak stat.
+	residentPages uint64
+}
+
+// noteBacked updates the resident-page high-water mark.
+func (p *PageAllocator) noteBacked(n uint64) {
+	p.residentPages += n
+	if p.residentPages > p.stats.PeakResidentPages {
+		p.stats.PeakResidentPages = p.residentPages
+	}
+}
+
+// NewPageAllocator builds the page allocator and fills its pool.
+func NewPageAllocator(cfg config.Machine, layout *Layout, mem Mem, k *kernel.Kernel) (*PageAllocator, error) {
+	p := &PageAllocator{
+		cfg:      cfg,
+		layout:   layout,
+		mem:      mem,
+		k:        k,
+		bump:     make([]uint64, layout.Classes()),
+		aacSlots: make([]int, cfg.Memento.AAC.Entries),
+	}
+	for c := range p.bump {
+		p.bump[c] = layout.StripeStart(c)
+	}
+	for i := range p.aacSlots {
+		p.aacSlots[i] = -1
+	}
+	if err := p.refillPool(cfg.Memento.PagePoolPages); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// refillPool asks the OS for more physical pages. This happens off the
+// function's critical path (the OS replenishes on demand), so the cycles are
+// recorded as background work.
+func (p *PageAllocator) refillPool(n int) error {
+	frames, cycles, ok := p.k.AllocPoolPages(n)
+	p.pool = append(p.pool, frames...)
+	p.stats.BackgroundCycles += cycles
+	p.stats.PoolRefills++
+	if !ok {
+		return ErrPoolEmpty
+	}
+	return nil
+}
+
+// popPage takes one page from the pool, refilling when low.
+func (p *PageAllocator) popPage() (uint64, error) {
+	if len(p.pool) < p.cfg.Memento.PagePoolRefillPages/4 {
+		if err := p.refillPool(p.cfg.Memento.PagePoolRefillPages); err != nil && len(p.pool) == 0 {
+			return 0, err
+		}
+	}
+	if len(p.pool) == 0 {
+		return 0, ErrPoolEmpty
+	}
+	f := p.pool[len(p.pool)-1]
+	p.pool = p.pool[:len(p.pool)-1]
+	return f, nil
+}
+
+// aacLookup charges the AAC access for class c and returns its latency,
+// tracking hit/miss. A miss costs an extra memory access to the reserved
+// per-class pointer block.
+func (p *PageAllocator) aacLookup(c int) uint64 {
+	slot := c % len(p.aacSlots)
+	cycles := p.cfg.Memento.AAC.LatencyCycles
+	if p.aacSlots[slot] == c {
+		p.stats.AACHits++
+		return cycles
+	}
+	p.stats.AACMisses++
+	p.aacSlots[slot] = c
+	// Fetch the pointer from the reserved memory block at the controller.
+	cycles += p.mem.Access(p.pointerBlockPA(c), false)
+	return cycles
+}
+
+// pointerBlockPA is the reserved memory block holding per-class bump
+// pointers (Section 3.2: "the page allocator maintains per-size-class
+// pointers for each core in a reserved memory block").
+func (p *PageAllocator) pointerBlockPA(c int) uint64 {
+	return uint64(1)<<config.PageShift + uint64(c)*8 // reserved low frame 1
+}
+
+// AllocArena hands a new arena of class c to the object allocator: bump the
+// class's VA pointer, eagerly back the first page (which holds the header),
+// and return the arena image. Returns the critical-path cycle cost.
+func (p *PageAllocator) AllocArena(c int) (*Arena, uint64, error) {
+	cycles := p.cfg.Cost.MementoArenaRequestCycles // object alloc -> controller round trip
+	cycles += p.aacLookup(c)
+
+	size := p.layout.ArenaBytes(c)
+	va := p.bump[c]
+	if va+size > p.layout.StripeStart(c)+p.layout.stripeBytes {
+		return nil, cycles, ErrRegionExhausted
+	}
+	p.bump[c] = va + size
+
+	frame, err := p.popPage()
+	if err != nil {
+		return nil, cycles, err
+	}
+	vpn := va >> config.PageShift
+	instCycles, err := p.installMapping(vpn, frame)
+	cycles += instCycles
+	if err != nil {
+		return nil, cycles, err
+	}
+	p.stats.PagesBacked++
+	p.noteBacked(1)
+	p.k.CountUserPage(1)
+
+	a := &Arena{
+		BaseVA:   va,
+		Class:    c,
+		HeaderPA: frame << config.PageShift,
+	}
+	p.stats.ArenaRequests++
+	return a, cycles, nil
+}
+
+// installMapping adds vpn -> frame to the Memento page table, creating
+// levels from the pool as needed. Each level touched costs one memory
+// access; new table pages cost a pool pop plus the service constant.
+func (p *PageAllocator) installMapping(vpn, frame uint64) (uint64, error) {
+	var cycles uint64
+	newNode := func(leaf bool) (*mptNode, error) {
+		f, err := p.popPage()
+		if err != nil {
+			return nil, err
+		}
+		cycles += p.cfg.Cost.MementoPageWalkServiceCycles
+		p.stats.TablePages++
+		p.k.CountKernelPage(1)
+		n := &mptNode{pfn: f}
+		if leaf {
+			n.pte = make([]uint64, mptFanout)
+		} else {
+			n.children = make([]*mptNode, mptFanout)
+		}
+		return n, nil
+	}
+	if p.root == nil {
+		n, err := newNode(false)
+		if err != nil {
+			return cycles, err
+		}
+		p.root = n
+	}
+	node := p.root
+	for level := mptLevels - 1; level >= 1; level-- {
+		idx := (vpn >> uint(9*level)) & (mptFanout - 1)
+		cycles += p.mem.Access(node.pfn<<config.PageShift+idx*8, false)
+		if node.children[idx] == nil {
+			n, err := newNode(level == 1)
+			if err != nil {
+				return cycles, err
+			}
+			cycles += p.mem.Access(node.pfn<<config.PageShift+idx*8, true)
+			node.children[idx] = n
+		}
+		node = node.children[idx]
+	}
+	idx := vpn & (mptFanout - 1)
+	cycles += p.mem.Access(node.pfn<<config.PageShift+idx*8, true)
+	node.pte[idx] = frame + 1
+	return cycles, nil
+}
+
+// Walk services a flagged page walk for a Memento-region VPN (Section 3.2):
+// valid entries are returned; invalid leaf entries trigger on-demand
+// physical backing from the pool; invalid interior entries grow the table.
+// It implements tlb.Walker for the machine's MMU.
+func (p *PageAllocator) Walk(vpn uint64) (pfn uint64, cycles uint64, ok bool) {
+	va := vpn << config.PageShift
+	if !p.layout.Contains(va) {
+		return 0, 0, false
+	}
+	p.stats.Walks++
+	p.shootdownVec |= 1 // single-core default: core 0 has walked
+	// The walk must stay within allocated arena VAs: addresses beyond the
+	// bump pointer were never handed out.
+	c := int((va - p.layout.MRS) / p.layout.stripeBytes)
+	if va >= p.bump[c] {
+		return 0, 0, false
+	}
+	pfn, walkCycles, mapped := p.lookup(vpn)
+	cycles += walkCycles
+	if mapped {
+		p.stats.WalkCycles += cycles
+		return pfn, cycles, true
+	}
+	// First touch: back the page from the pool.
+	frame, err := p.popPage()
+	if err != nil {
+		return 0, cycles, false
+	}
+	cycles += p.cfg.Cost.MementoPageWalkServiceCycles
+	instCycles, err := p.installMapping(vpn, frame)
+	cycles += instCycles
+	if err != nil {
+		return 0, cycles, false
+	}
+	p.stats.PagesBacked++
+	p.stats.WalkBackings++
+	p.stats.WalkCycles += cycles
+	p.stats.BackingCycles += cycles
+	p.noteBacked(1)
+	p.k.CountUserPage(1)
+	return frame, cycles, true
+}
+
+// lookup walks the Memento table read-only.
+func (p *PageAllocator) lookup(vpn uint64) (pfn uint64, cycles uint64, ok bool) {
+	node := p.root
+	if node == nil {
+		return 0, 0, false
+	}
+	for level := mptLevels - 1; level >= 1; level-- {
+		idx := (vpn >> uint(9*level)) & (mptFanout - 1)
+		cycles += p.mem.Access(node.pfn<<config.PageShift+idx*8, false)
+		node = node.children[idx]
+		if node == nil {
+			return 0, cycles, false
+		}
+	}
+	idx := vpn & (mptFanout - 1)
+	cycles += p.mem.Access(node.pfn<<config.PageShift+idx*8, false)
+	if node.pte[idx] == 0 {
+		return 0, cycles, false
+	}
+	return node.pte[idx] - 1, cycles, true
+}
+
+// FreeArena reclaims an arena whose last object died: walk the Memento
+// table, return backing pages to the pool, invalidate PTEs, and issue TLB
+// shootdowns to cores recorded in the shootdown vector.
+func (p *PageAllocator) FreeArena(a *Arena) uint64 {
+	var cycles uint64
+	startVPN := a.BaseVA >> config.PageShift
+	pages := p.layout.ArenaPages(a.Class)
+	for i := uint64(0); i < pages; i++ {
+		vpn := startVPN + i
+		frame, c, mapped := p.clear(vpn)
+		cycles += c
+		if !mapped {
+			continue
+		}
+		p.pool = append(p.pool, frame)
+		p.stats.PagesReclaimed++
+		p.residentPages--
+		if p.Shootdown != nil && p.shootdownVec != 0 {
+			p.Shootdown(vpn)
+		}
+		p.stats.Shootdowns++
+	}
+	p.stats.ArenaFrees++
+	return cycles
+}
+
+// clear invalidates the PTE for vpn, returning the frame it held.
+func (p *PageAllocator) clear(vpn uint64) (frame uint64, cycles uint64, ok bool) {
+	node := p.root
+	if node == nil {
+		return 0, 0, false
+	}
+	for level := mptLevels - 1; level >= 1; level-- {
+		idx := (vpn >> uint(9*level)) & (mptFanout - 1)
+		cycles += p.mem.Access(node.pfn<<config.PageShift+idx*8, false)
+		node = node.children[idx]
+		if node == nil {
+			return 0, cycles, false
+		}
+	}
+	idx := vpn & (mptFanout - 1)
+	if node.pte[idx] == 0 {
+		return 0, cycles, false
+	}
+	frame = node.pte[idx] - 1
+	node.pte[idx] = 0
+	cycles += p.mem.Access(node.pfn<<config.PageShift+idx*8, true)
+	return frame, cycles, true
+}
+
+// Release returns the whole pool and all table pages to the OS (process
+// teardown). The caller must have freed or abandoned all arenas first.
+func (p *PageAllocator) Release() error {
+	frames := p.pool
+	p.pool = nil
+	var collect func(n *mptNode)
+	collect = func(n *mptNode) {
+		if n == nil {
+			return
+		}
+		for _, c := range n.children {
+			collect(c)
+		}
+		for _, e := range n.pte {
+			if e != 0 {
+				frames = append(frames, e-1) // still-mapped data pages
+			}
+		}
+		frames = append(frames, n.pfn)
+	}
+	collect(p.root)
+	p.root = nil
+	return p.k.FreePoolPages(frames)
+}
+
+// Stats returns a copy of the counters.
+func (p *PageAllocator) Stats() PageAllocStats { return p.stats }
+
+// PoolSize returns the current free-pool depth.
+func (p *PageAllocator) PoolSize() int { return len(p.pool) }

@@ -1,0 +1,135 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+
+	"memento/internal/config"
+)
+
+func testDRAM() *DRAM {
+	return New(config.Default().DRAM)
+}
+
+func TestRowBufferHit(t *testing.T) {
+	d := testDRAM()
+	first := d.Read(0x1000)
+	second := d.Read(0x1040) // same row
+	if first <= second {
+		t.Fatalf("first access (row miss, %d cycles) should cost more than second (row hit, %d cycles)",
+			first, second)
+	}
+	s := d.Stats()
+	if s.RowMisses != 1 || s.RowHits != 1 {
+		t.Fatalf("row hits/misses = %d/%d, want 1/1", s.RowHits, s.RowMisses)
+	}
+}
+
+func TestRowConflict(t *testing.T) {
+	cfg := config.Default().DRAM
+	d := New(cfg)
+	d.Read(0)
+	// Same bank, different row: rows map to banks round-robin, so the same
+	// bank recurs every Banks*RowBytes bytes.
+	stride := uint64(cfg.Banks) * uint64(cfg.RowBytes)
+	d.Read(stride)
+	s := d.Stats()
+	if s.RowMisses != 2 {
+		t.Fatalf("row misses = %d, want 2 (conflict should close the row)", s.RowMisses)
+	}
+}
+
+func TestTrafficAccounting(t *testing.T) {
+	d := testDRAM()
+	d.Read(0)
+	d.Read(64)
+	d.Write(128)
+	s := d.Stats()
+	if s.Reads != 2 || s.Writes != 1 {
+		t.Fatalf("reads/writes = %d/%d, want 2/1", s.Reads, s.Writes)
+	}
+	if s.ReadBytes != 2*config.LineSize || s.WriteBytes != config.LineSize {
+		t.Fatalf("bytes = %d/%d, want %d/%d", s.ReadBytes, s.WriteBytes, 2*config.LineSize, config.LineSize)
+	}
+	if s.TotalBytes() != 3*config.LineSize {
+		t.Fatalf("total = %d", s.TotalBytes())
+	}
+}
+
+func TestWritesCheaperOnCriticalPath(t *testing.T) {
+	d := testDRAM()
+	r := d.Read(0x10000)
+	d2 := testDRAM()
+	w := d2.Write(0x10000)
+	if w >= r {
+		t.Fatalf("posted write latency %d should be below read latency %d", w, r)
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	d := testDRAM()
+	d.Read(0)
+	d.ResetStats()
+	if d.Stats().TotalAccesses() != 0 {
+		t.Fatal("stats should be zero after reset")
+	}
+}
+
+func TestRowHitRate(t *testing.T) {
+	var s Stats
+	if s.RowHitRate() != 0 {
+		t.Fatal("empty hit rate should be 0")
+	}
+	s.RowHits, s.RowMisses = 3, 1
+	if s.RowHitRate() != 0.75 {
+		t.Fatalf("hit rate = %v, want 0.75", s.RowHitRate())
+	}
+}
+
+func TestBankDecodeInRange(t *testing.T) {
+	d := testDRAM()
+	f := func(pa uint64) bool {
+		bank, row := d.bankAndRow(pa % (64 << 30))
+		return bank >= 0 && bank < 16 && row >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLatencyAlwaysPositive(t *testing.T) {
+	d := testDRAM()
+	f := func(pa uint64, write bool) bool {
+		pa %= 64 << 30
+		var lat uint64
+		if write {
+			lat = d.Write(pa)
+		} else {
+			lat = d.Read(pa)
+		}
+		return lat > 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewPanicsOnBadGeometry(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(config.DRAMConfig{Banks: 0, RowBytes: 0})
+}
+
+func TestSequentialStreamMostlyRowHits(t *testing.T) {
+	d := testDRAM()
+	for pa := uint64(0); pa < 1<<20; pa += config.LineSize {
+		d.Read(pa)
+	}
+	s := d.Stats()
+	if s.RowHitRate() < 0.9 {
+		t.Fatalf("sequential stream row hit rate = %v, want > 0.9", s.RowHitRate())
+	}
+}

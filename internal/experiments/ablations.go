@@ -1,0 +1,181 @@
+package experiments
+
+import (
+	"fmt"
+
+	"memento/internal/config"
+	"memento/internal/machine"
+	"memento/internal/stats"
+	"memento/internal/workload"
+)
+
+// The ablations go beyond the paper's published studies: they isolate the
+// design choices DESIGN.md calls out (eager arena prefetch, the bypass
+// mechanism, HOT latency, page-pool depth, and AAC size) on a
+// representative workload subset so a reader can see what each mechanism
+// buys.
+
+// ablationWorkloads is the representative subset: the highest-gain Python
+// function, a DeathStarBench C++ service, and a Golang port.
+var ablationWorkloads = []string{"html", "UM", "html-go"}
+
+// runMementoVariant runs the subset on a Memento stack with a mutated
+// configuration and returns the mean speedup over the (unmutated) baseline.
+func runMementoVariant(base config.Machine, mutate func(*config.Machine)) (float64, []machine.Result, error) {
+	cfg := base
+	mutate(&cfg)
+	var speeds []float64
+	var results []machine.Result
+	for _, name := range ablationWorkloads {
+		p, _ := workload.ByName(name)
+		tr := workload.Generate(p)
+		mb, err := machine.New(base)
+		if err != nil {
+			return 0, nil, err
+		}
+		baseRes, err := mb.Run(tr, machine.Options{Stack: machine.Baseline})
+		if err != nil {
+			return 0, nil, err
+		}
+		mm, err := machine.New(cfg)
+		if err != nil {
+			return 0, nil, err
+		}
+		memRes, err := mm.Run(tr, machine.Options{Stack: machine.Memento})
+		if err != nil {
+			return 0, nil, err
+		}
+		speeds = append(speeds, machine.Speedup(baseRes, memRes))
+		results = append(results, memRes)
+	}
+	return stats.Mean(speeds), results, nil
+}
+
+// AblationEagerPrefetch isolates the Section 3.1 eager arena prefetch.
+func AblationEagerPrefetch(s *Suite) (Experiment, error) {
+	e := Experiment{
+		ID:     "abl-prefetch",
+		Title:  "Ablation: eager arena prefetch (Section 3.1 optimization)",
+		Paper:  "the paper describes the optimization but does not ablate it; this isolates it",
+		Header: []string{"configuration", "mean speedup", "alloc HOT hit rate"},
+	}
+	for _, v := range []struct {
+		label string
+		on    bool
+	}{{"prefetch on (default)", true}, {"prefetch off", false}} {
+		sp, results, err := runMementoVariant(s.Cfg, func(c *config.Machine) { c.Memento.EagerArenaPrefetch = v.on })
+		if err != nil {
+			return e, err
+		}
+		var hr []float64
+		for _, r := range results {
+			hr = append(hr, r.HOT.AllocHitRate())
+		}
+		e.Rows = append(e.Rows, []string{v.label, f3(sp), pct(stats.Mean(hr))})
+	}
+	e.Notes = append(e.Notes, "prefetch hides arena-turnover latency: without it every 256th allocation per class pays the arena load")
+	return e, nil
+}
+
+// AblationBypass isolates the Section 3.3 main-memory bypass.
+func AblationBypass(s *Suite) (Experiment, error) {
+	e := Experiment{
+		ID:     "abl-bypass",
+		Title:  "Ablation: main memory bypass (Section 3.3)",
+		Paper:  "Fig 9 attributes ~2% of function gains (up to 17%) to the bypass; Fig 10 gives it 5% of traffic savings",
+		Header: []string{"configuration", "mean speedup", "mean DRAM bytes"},
+	}
+	for _, v := range []struct {
+		label string
+		on    bool
+	}{{"bypass on (default)", true}, {"bypass off", false}} {
+		sp, results, err := runMementoVariant(s.Cfg, func(c *config.Machine) { c.Memento.BypassEnabled = v.on })
+		if err != nil {
+			return e, err
+		}
+		var bytes []float64
+		for _, r := range results {
+			bytes = append(bytes, float64(r.DRAM.TotalBytes()))
+		}
+		e.Rows = append(e.Rows, []string{v.label, f3(sp), fmt.Sprintf("%.2f MB", stats.Mean(bytes)/1e6)})
+	}
+	return e, nil
+}
+
+// AblationHOTLatency sweeps the HOT hit latency: the design's headline is
+// that allocation costs a single L1-equivalent round trip.
+func AblationHOTLatency(s *Suite) (Experiment, error) {
+	e := Experiment{
+		ID:     "abl-hot-latency",
+		Title:  "Ablation: HOT hit latency",
+		Paper:  "Table 3 budgets 2 cycles; the sweep shows how much slack the design has",
+		Header: []string{"HOT latency", "mean speedup"},
+	}
+	for _, lat := range []uint64{1, 2, 4, 8, 16} {
+		sp, _, err := runMementoVariant(s.Cfg, func(c *config.Machine) { c.Memento.HOT.LatencyCycles = lat })
+		if err != nil {
+			return e, err
+		}
+		e.Rows = append(e.Rows, []string{fmt.Sprintf("%d cycles", lat), f3(sp)})
+	}
+	return e, nil
+}
+
+// AblationPoolSize sweeps the hardware page allocator's physical pool.
+func AblationPoolSize(s *Suite) (Experiment, error) {
+	e := Experiment{
+		ID:     "abl-pool",
+		Title:  "Ablation: hardware page allocator pool depth",
+		Paper:  "the paper sizes the pool as 'a small pool of physical pages'; the sweep bounds how small it can be",
+		Header: []string{"pool pages", "mean speedup"},
+	}
+	for _, pool := range []int{256, 1024, 4096} {
+		sp, _, err := runMementoVariant(s.Cfg, func(c *config.Machine) {
+			c.Memento.PagePoolPages = pool
+			c.Memento.PagePoolRefillPages = pool / 4
+		})
+		if err != nil {
+			return e, err
+		}
+		e.Rows = append(e.Rows, []string{fmt.Sprintf("%d", pool), f3(sp)})
+	}
+	e.Notes = append(e.Notes, "pool refills happen off the critical path, so depth mainly bounds worst-case behaviour, not mean speedup")
+	return e, nil
+}
+
+// AblationAACSize sweeps the Arena Allocation Cache entry count.
+func AblationAACSize(s *Suite) (Experiment, error) {
+	e := Experiment{
+		ID:     "abl-aac",
+		Title:  "Ablation: Arena Allocation Cache entries",
+		Paper:  "Table 3 uses 32 entries; 'a small number of size classes per workload is sufficient' (Section 3.2)",
+		Header: []string{"AAC entries", "mean speedup", "mean AAC hit rate"},
+	}
+	for _, entries := range []int{8, 16, 32, 64} {
+		sp, results, err := runMementoVariant(s.Cfg, func(c *config.Machine) { c.Memento.AAC.Entries = entries })
+		if err != nil {
+			return e, err
+		}
+		var hr []float64
+		for _, r := range results {
+			hr = append(hr, stats.Ratio(r.PageAlloc.AACHits, r.PageAlloc.AACMisses))
+		}
+		e.Rows = append(e.Rows, []string{fmt.Sprintf("%d", entries), f3(sp), pct(stats.Mean(hr))})
+	}
+	return e, nil
+}
+
+// Ablations runs all design-choice ablations.
+func Ablations(s *Suite) ([]Experiment, error) {
+	var out []Experiment
+	for _, r := range []func(*Suite) (Experiment, error){
+		AblationEagerPrefetch, AblationBypass, AblationHOTLatency, AblationPoolSize, AblationAACSize,
+	} {
+		e, err := r(s)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}

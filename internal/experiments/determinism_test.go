@@ -1,0 +1,29 @@
+package experiments
+
+import (
+	"testing"
+
+	"memento/internal/config"
+)
+
+// TestParallelSweepIsDeterministic: the suite fans the 23x3 sweep across
+// goroutines; results must not depend on scheduling, since every machine
+// is independent and every generator seeded.
+func TestParallelSweepIsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full sweeps")
+	}
+	render := func() string {
+		s := NewSuite(config.Default())
+		e, err := Fig8Speedup(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e.Render()
+	}
+	a := render()
+	b := render()
+	if a != b {
+		t.Fatalf("sweep output differs across runs:\n%s\n---\n%s", a, b)
+	}
+}

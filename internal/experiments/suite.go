@@ -1,0 +1,194 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 6) plus the Section 2.2 characterization, printing
+// paper-reported values next to measured ones so reproduction drift is
+// always visible.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"memento/internal/config"
+	"memento/internal/machine"
+	"memento/internal/trace"
+	"memento/internal/workload"
+)
+
+// Pair is one workload's run set.
+type Pair struct {
+	Prof  workload.Profile
+	Trace *trace.Trace
+	Base  machine.Result
+	Mem   machine.Result
+	// MemNoBypass isolates the main-memory-bypass contribution (the
+	// yellow-highlighted share of Fig 10).
+	MemNoBypass machine.Result
+}
+
+// Speedup returns the workload's Memento speedup.
+func (p Pair) Speedup() float64 { return machine.Speedup(p.Base, p.Mem) }
+
+// Suite runs and caches all workloads on all stacks.
+type Suite struct {
+	Cfg   config.Machine
+	once  sync.Once
+	pairs map[string]*Pair
+	err   error
+}
+
+// NewSuite creates a suite over the given machine configuration.
+func NewSuite(cfg config.Machine) *Suite {
+	return &Suite{Cfg: cfg}
+}
+
+// Pairs runs (once) every workload on baseline, Memento, and
+// Memento-without-bypass, in parallel across independent machines.
+func (s *Suite) Pairs() (map[string]*Pair, error) {
+	s.once.Do(func() {
+		profiles := workload.Profiles()
+		s.pairs = make(map[string]*Pair, len(profiles))
+		type job struct {
+			prof workload.Profile
+		}
+		jobs := make(chan job)
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		workers := runtime.NumCPU()
+		if workers > len(profiles) {
+			workers = len(profiles)
+		}
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for j := range jobs {
+					tr := workload.Generate(j.prof)
+					base, mem, err := machine.RunPair(s.Cfg, tr, machine.Options{})
+					if err != nil {
+						mu.Lock()
+						if s.err == nil {
+							s.err = fmt.Errorf("experiments: %s: %w", j.prof.Name, err)
+						}
+						mu.Unlock()
+						continue
+					}
+					nbCfg := s.Cfg
+					nbCfg.Memento.BypassEnabled = false
+					mNB, err := machine.New(nbCfg)
+					var noBypass machine.Result
+					if err == nil {
+						noBypass, err = mNB.Run(tr, machine.Options{Stack: machine.Memento})
+					}
+					mu.Lock()
+					if err != nil && s.err == nil {
+						s.err = fmt.Errorf("experiments: %s (no-bypass): %w", j.prof.Name, err)
+					}
+					s.pairs[j.prof.Name] = &Pair{Prof: j.prof, Trace: tr, Base: base, Mem: mem, MemNoBypass: noBypass}
+					mu.Unlock()
+				}
+			}()
+		}
+		for _, p := range profiles {
+			jobs <- job{prof: p}
+		}
+		close(jobs)
+		wg.Wait()
+	})
+	return s.pairs, s.err
+}
+
+// ByClass returns the suite's pairs for one workload class, in profile
+// order.
+func (s *Suite) ByClass(c workload.Class) ([]*Pair, error) {
+	pairs, err := s.Pairs()
+	if err != nil {
+		return nil, err
+	}
+	var out []*Pair
+	for _, p := range workload.ByClass(c) {
+		out = append(out, pairs[p.Name])
+	}
+	return out, nil
+}
+
+// Experiment is one rendered table/figure reproduction.
+type Experiment struct {
+	// ID is the paper's label ("fig8", "table2", "sec6.7", ...).
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Paper summarizes what the paper reports.
+	Paper string
+	// Header and Rows are the measured table.
+	Header []string
+	Rows   [][]string
+	// Notes records reproduction caveats.
+	Notes []string
+}
+
+// Render formats the experiment as an aligned text table.
+func (e Experiment) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", strings.ToUpper(e.ID), e.Title)
+	fmt.Fprintf(&b, "paper: %s\n", e.Paper)
+	widths := make([]int, len(e.Header))
+	for i, h := range e.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range e.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i < len(widths) {
+				fmt.Fprintf(&b, "%-*s  ", widths[i], c)
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteString("\n")
+	}
+	line(e.Header)
+	for _, r := range e.Rows {
+		line(r)
+	}
+	for _, n := range e.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// pct formats a fraction as a percentage.
+func pct(f float64) string { return fmt.Sprintf("%.1f%%", 100*f) }
+
+// f3 formats a float with three decimals.
+func f3(f float64) string { return fmt.Sprintf("%.3f", f) }
+
+// sortedNames returns workload names in canonical profile order.
+func sortedNames(pairs map[string]*Pair) []string {
+	names := workload.Names()
+	var out []string
+	for _, n := range names {
+		if _, ok := pairs[n]; ok {
+			out = append(out, n)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return indexOf(names, out[i]) < indexOf(names, out[j]) })
+	return out
+}
+
+func indexOf(ss []string, s string) int {
+	for i, v := range ss {
+		if v == s {
+			return i
+		}
+	}
+	return -1
+}

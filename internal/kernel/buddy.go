@@ -1,0 +1,134 @@
+// Package kernel implements the simulated operating-system memory-management
+// substrate the paper's baseline measures: a buddy physical page allocator,
+// 4-level page tables, VMA tracking, the mmap/munmap system calls, and the
+// page-fault handler (Section 2.1, "Kernel Space Operations"). All metadata
+// operations generate memory traffic through the simulated cache hierarchy
+// and instruction costs from the config cost model, so kernel memory-
+// management cycles are measurable exactly the way Table 2 reports them.
+package kernel
+
+import (
+	"fmt"
+)
+
+// MaxOrder is the largest buddy block: 2^10 pages = 4 MiB, matching Linux.
+const MaxOrder = 10
+
+// Buddy is a binary-buddy physical page allocator over frames
+// [base, base+nframes). Frame numbers are absolute PFNs.
+type Buddy struct {
+	base    uint64
+	nframes uint64
+	// free[o] is the set of free block start frames of order o.
+	free [MaxOrder + 1]map[uint64]struct{}
+	// allocOrder records the order each allocated block was handed out at,
+	// so Free can validate and merge correctly.
+	allocOrder map[uint64]int
+	freeFrames uint64
+}
+
+// NewBuddy creates an allocator over nframes frames starting at PFN base.
+func NewBuddy(base, nframes uint64) *Buddy {
+	b := &Buddy{base: base, nframes: nframes, allocOrder: make(map[uint64]int)}
+	for o := range b.free {
+		b.free[o] = make(map[uint64]struct{})
+	}
+	// Seed with maximal aligned blocks.
+	f := base
+	remaining := nframes
+	for remaining > 0 {
+		o := MaxOrder
+		for o > 0 && (uint64(1)<<o > remaining || (f-base)%(1<<o) != 0) {
+			o--
+		}
+		b.free[o][f] = struct{}{}
+		f += 1 << o
+		remaining -= 1 << o
+	}
+	b.freeFrames = nframes
+	return b
+}
+
+// FreeFrames returns the number of currently free frames.
+func (b *Buddy) FreeFrames() uint64 { return b.freeFrames }
+
+// TotalFrames returns the managed frame count.
+func (b *Buddy) TotalFrames() uint64 { return b.nframes }
+
+// Alloc returns the first frame of a free 2^order block, splitting larger
+// blocks as needed. ok is false when memory is exhausted.
+func (b *Buddy) Alloc(order int) (frame uint64, ok bool) {
+	if order < 0 || order > MaxOrder {
+		return 0, false
+	}
+	o := order
+	for o <= MaxOrder && len(b.free[o]) == 0 {
+		o++
+	}
+	if o > MaxOrder {
+		return 0, false
+	}
+	// Take any block at order o.
+	for f := range b.free[o] {
+		frame = f
+		break
+	}
+	delete(b.free[o], frame)
+	// Split down to the requested order.
+	for o > order {
+		o--
+		buddy := frame + (1 << o)
+		b.free[o][buddy] = struct{}{}
+	}
+	b.allocOrder[frame] = order
+	b.freeFrames -= 1 << order
+	return frame, true
+}
+
+// Free returns a block to the allocator, merging with its buddy as long as
+// the buddy is also free.
+func (b *Buddy) Free(frame uint64) error {
+	order, ok := b.allocOrder[frame]
+	if !ok {
+		return fmt.Errorf("kernel: buddy free of unallocated frame %#x", frame)
+	}
+	delete(b.allocOrder, frame)
+	b.freeFrames += 1 << order
+	rel := frame - b.base
+	for order < MaxOrder {
+		buddyRel := rel ^ (1 << order)
+		buddyFrame := b.base + buddyRel
+		if _, free := b.free[order][buddyFrame]; !free {
+			break
+		}
+		delete(b.free[order], buddyFrame)
+		if buddyRel < rel {
+			rel = buddyRel
+		}
+		order++
+	}
+	b.free[order][b.base+rel] = struct{}{}
+	return nil
+}
+
+// checkIntegrity validates that free blocks do not overlap and cover exactly
+// freeFrames frames. Used by tests.
+func (b *Buddy) checkIntegrity() error {
+	seen := make(map[uint64]struct{})
+	var count uint64
+	for o := 0; o <= MaxOrder; o++ {
+		for f := range b.free[o] {
+			for i := uint64(0); i < 1<<o; i++ {
+				if _, dup := seen[f+i]; dup {
+					return fmt.Errorf("kernel: frame %#x in two free blocks", f+i)
+				}
+				seen[f+i] = struct{}{}
+			}
+			count += 1 << o
+		}
+	}
+	if count != b.freeFrames {
+		return fmt.Errorf("kernel: free list holds %d frames, counter says %d", count, b.freeFrames)
+	}
+	return nil
+}

@@ -1,0 +1,366 @@
+package kernel
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"memento/internal/config"
+)
+
+// Reserved low physical frames (kernel image, fixed structures).
+const firstUsableFrame = 256
+
+// Stats accumulates kernel memory-management activity. Cycle fields are the
+// basis of the Table 2 user/kernel breakdown and the Fig 9 page-mgmt gains;
+// page counters feed the Fig 11 aggregate-memory results.
+type Stats struct {
+	// Mmaps, Munmaps, and PageFaults count events.
+	Mmaps      uint64
+	Munmaps    uint64
+	PageFaults uint64
+
+	// SyscallCycles is time spent in mmap/munmap (entry/exit + kernel work).
+	SyscallCycles uint64
+	// FaultCycles is time spent in the page-fault path (trap + handler +
+	// allocation + zeroing + PTE install).
+	FaultCycles uint64
+
+	// UserPagesAllocated counts data pages handed to userspace (cumulative).
+	UserPagesAllocated uint64
+	// KernelPagesAllocated counts pages consumed by kernel metadata —
+	// page tables and VMA bookkeeping (cumulative).
+	KernelPagesAllocated uint64
+	// PageTablePages is the current number of live page-table pages.
+	PageTablePages uint64
+	// ZeroedPages counts pages zeroed by the fault path.
+	ZeroedPages uint64
+	// Shootdowns counts TLB shootdown events issued by munmap.
+	Shootdowns uint64
+}
+
+// KernelMMCycles returns all kernel memory-management cycles.
+func (s Stats) KernelMMCycles() uint64 { return s.SyscallCycles + s.FaultCycles }
+
+// vma is one mapped virtual region [start, end) in page units.
+type vma struct {
+	startVPN uint64
+	endVPN   uint64 // exclusive
+	populate bool
+}
+
+// AddressSpace is one process's virtual memory image.
+type AddressSpace struct {
+	k  *Kernel
+	pt *PageTable
+	// vmas is kept sorted by startVPN.
+	vmas []vma
+	// cursor is the next VA for a fresh mmap, in VPN units.
+	cursor uint64
+	// metaFrame backs VMA bookkeeping accesses.
+	metaFrame uint64
+	// Shootdown, when set, is invoked for every unmapped VPN so the owner
+	// (the machine's TLB) can invalidate stale translations.
+	Shootdown func(vpn uint64)
+	// residentPages is the current number of data pages mapped.
+	residentPages uint64
+	// peakResident tracks the maximum of residentPages.
+	peakResident uint64
+	// vmasCreated counts mappings ever created (slab accounting).
+	vmasCreated uint64
+}
+
+// vmasPerSlabPage is how many VMA metadata sets fit a kernel slab page
+// (vm_area_struct + anon_vma + rmap entries, ~320 B together).
+const vmasPerSlabPage = 12
+
+// mmapBaseVPN is where anonymous mappings start (0x7f00_0000_0000 >> 12),
+// far from the Memento region.
+const mmapBaseVPN = 0x7f0000000
+
+// Kernel is the simulated OS memory manager shared by all address spaces on
+// a machine.
+type Kernel struct {
+	cfg   config.Machine
+	mem   Mem
+	buddy *Buddy
+	stats Stats
+	// forcePopulate applies MAP_POPULATE to every mmap (the Section 6.6
+	// sensitivity study).
+	forcePopulate bool
+}
+
+// SetForcePopulate toggles eager population of all mappings (§6.6).
+func (k *Kernel) SetForcePopulate(v bool) { k.forcePopulate = v }
+
+// New creates a kernel managing the machine's physical memory. To keep the
+// buddy metadata proportionate to simulated footprints, the managed range is
+// capped at 4 GiB of frames; the workloads use tens of MiB.
+func New(cfg config.Machine, mem Mem) *Kernel {
+	frames := cfg.DRAM.SizeBytes >> config.PageShift
+	if max := uint64(4 << 30 >> config.PageShift); frames > max {
+		frames = max
+	}
+	return &Kernel{
+		cfg:   cfg,
+		mem:   mem,
+		buddy: NewBuddy(firstUsableFrame, frames-firstUsableFrame),
+	}
+}
+
+// Stats returns a copy of the counters.
+func (k *Kernel) Stats() Stats { return k.stats }
+
+// FreeFrames exposes remaining physical memory.
+func (k *Kernel) FreeFrames() uint64 { return k.buddy.FreeFrames() }
+
+// NewAddressSpace creates a process address space. One metadata frame is
+// charged to the kernel for VMA bookkeeping.
+func (k *Kernel) NewAddressSpace() *AddressSpace {
+	frame, ok := k.buddy.Alloc(0)
+	if !ok {
+		panic("kernel: out of physical memory creating address space")
+	}
+	k.stats.KernelPagesAllocated++
+	return &AddressSpace{
+		k:         k,
+		pt:        &PageTable{},
+		cursor:    mmapBaseVPN,
+		metaFrame: frame,
+	}
+}
+
+// vmaAccess charges the memory traffic of touching the VMA structures
+// (interval-tree node reads/writes), n accesses wide.
+func (as *AddressSpace) vmaAccess(n int, write bool) uint64 {
+	var cycles uint64
+	base := as.metaFrame << config.PageShift
+	for i := 0; i < n; i++ {
+		cycles += as.k.mem.Access(base+uint64(i%64)*config.LineSize, write)
+	}
+	return cycles
+}
+
+// findVMA returns the VMA covering vpn, if any.
+func (as *AddressSpace) findVMA(vpn uint64) (int, bool) {
+	i := sort.Search(len(as.vmas), func(i int) bool { return as.vmas[i].endVPN > vpn })
+	if i < len(as.vmas) && as.vmas[i].startVPN <= vpn {
+		return i, true
+	}
+	return i, false
+}
+
+// Mmap creates an anonymous private mapping of length bytes and returns its
+// virtual address and the syscall's cycle cost. With populate set
+// (MAP_POPULATE, Section 6.6) all pages are backed eagerly.
+func (k *Kernel) Mmap(as *AddressSpace, length uint64, populate bool) (va uint64, cycles uint64, err error) {
+	if length == 0 {
+		return 0, 0, errors.New("kernel: mmap of zero length")
+	}
+	populate = populate || k.forcePopulate
+	pages := (length + config.PageSize - 1) >> config.PageShift
+	cycles = k.cfg.Cost.SyscallEntryExitCycles
+	cycles += k.cfg.InstrCycles(k.cfg.Cost.MmapBaseInstrs)
+	cycles += as.vmaAccess(6, true)
+
+	start := as.cursor
+	as.cursor += pages
+	as.vmas = append(as.vmas, vma{startVPN: start, endVPN: start + pages, populate: populate})
+	sort.Slice(as.vmas, func(i, j int) bool { return as.vmas[i].startVPN < as.vmas[j].startVPN })
+	k.stats.Mmaps++
+	// VMA metadata (vm_area_struct, anon_vma, rmap) comes from kernel
+	// slabs; charge one kernel page per vmasPerSlabPage mappings created.
+	as.vmasCreated++
+	if as.vmasCreated%vmasPerSlabPage == 1 {
+		k.stats.KernelPagesAllocated++
+	}
+
+	if populate {
+		for vpn := start; vpn < start+pages; vpn++ {
+			c, ok := k.populatePage(as, vpn)
+			if !ok {
+				return 0, cycles, errors.New("kernel: out of memory populating mapping")
+			}
+			// Populating still pays per-page charging work (memcg, rmap)
+			// that the fault handler would otherwise do; only the trap is
+			// saved.
+			cycles += c + k.cfg.InstrCycles(1800)
+		}
+	}
+	k.stats.SyscallCycles += cycles
+	return start << config.PageShift, cycles, nil
+}
+
+// populatePage allocates, zeroes, and maps one page (no trap cost).
+func (k *Kernel) populatePage(as *AddressSpace, vpn uint64) (cycles uint64, ok bool) {
+	frame, ok := k.buddy.Alloc(0)
+	if !ok {
+		return 0, false
+	}
+	cycles += k.cfg.InstrCycles(k.cfg.Cost.BuddyAllocInstrs)
+	cycles += k.zeroPage(frame)
+	k.stats.ZeroedPages++
+	c, ok := k.install(as.pt, vpn, frame)
+	cycles += c
+	if !ok {
+		return cycles, false
+	}
+	k.stats.UserPagesAllocated++
+	as.residentPages++
+	if as.residentPages > as.peakResident {
+		as.peakResident = as.residentPages
+	}
+	return cycles, true
+}
+
+// Munmap removes the mapping at va (which must be a mapping start) and
+// returns the syscall's cycle cost: VMA teardown, per-page PTE clears,
+// physical frees, page-table reaping, and TLB shootdowns.
+func (k *Kernel) Munmap(as *AddressSpace, va, length uint64) (cycles uint64, err error) {
+	startVPN := va >> config.PageShift
+	pages := (length + config.PageSize - 1) >> config.PageShift
+	i, ok := as.findVMA(startVPN)
+	if !ok {
+		return 0, fmt.Errorf("kernel: munmap of unmapped address %#x", va)
+	}
+	v := as.vmas[i]
+	if v.startVPN != startVPN || v.endVPN != startVPN+pages {
+		return 0, fmt.Errorf("kernel: partial munmap unsupported: vma [%#x,%#x) request [%#x,%#x)",
+			v.startVPN, v.endVPN, startVPN, startVPN+pages)
+	}
+
+	cycles = k.cfg.Cost.SyscallEntryExitCycles
+	cycles += k.cfg.InstrCycles(k.cfg.Cost.MunmapBaseInstrs)
+	cycles += as.vmaAccess(6, true)
+
+	for vpn := startVPN; vpn < startVPN+pages; vpn++ {
+		pfn, c, present := as.pt.clear(vpn, k.mem)
+		cycles += c
+		if !present {
+			continue
+		}
+		cycles += k.cfg.InstrCycles(k.cfg.Cost.MunmapPerPageInstrs)
+		if err := k.buddy.Free(pfn); err != nil {
+			return cycles, err
+		}
+		cycles += k.cfg.InstrCycles(k.cfg.Cost.BuddyFreeInstrs)
+		as.residentPages--
+		if as.Shootdown != nil {
+			as.Shootdown(vpn)
+		}
+		k.stats.Shootdowns++
+	}
+	_, reapCycles := k.reapEmpty(as.pt)
+	cycles += reapCycles
+
+	as.vmas = append(as.vmas[:i], as.vmas[i+1:]...)
+	k.stats.Munmaps++
+	k.stats.SyscallCycles += cycles
+	return cycles, nil
+}
+
+// ReleaseAll tears down every mapping in the address space — the OS
+// batch-free at function exit the paper identifies for long-lived
+// allocations. Returns the total cycle cost.
+func (k *Kernel) ReleaseAll(as *AddressSpace) (cycles uint64, err error) {
+	for len(as.vmas) > 0 {
+		v := as.vmas[0]
+		c, err := k.Munmap(as, v.startVPN<<config.PageShift, (v.endVPN-v.startVPN)<<config.PageShift)
+		cycles += c
+		if err != nil {
+			return cycles, err
+		}
+	}
+	return cycles, nil
+}
+
+// Walk implements tlb.Walker for the address space: a hardware page walk
+// that, on a non-present PTE inside a valid VMA, takes a page fault and
+// runs the kernel handler (trap, VMA lookup, allocation, zeroing, install).
+func (as *AddressSpace) Walk(vpn uint64) (pfn uint64, cycles uint64, ok bool) {
+	k := as.k
+	pfn, walkCycles, present := as.pt.walk(vpn, k.mem)
+	cycles = walkCycles
+	if present {
+		return pfn, cycles, true
+	}
+	// Page fault path.
+	if _, covered := as.findVMA(vpn); !covered {
+		return 0, cycles, false // genuine segfault
+	}
+	faultCycles := k.cfg.Cost.PageFaultTrapCycles
+	faultCycles += k.cfg.InstrCycles(k.cfg.Cost.PageFaultHandlerInstrs)
+	faultCycles += as.vmaAccess(4, false)
+	c, allocOK := k.populatePage(as, vpn)
+	faultCycles += c
+	if !allocOK {
+		return 0, cycles + faultCycles, false
+	}
+	k.stats.PageFaults++
+	k.stats.FaultCycles += faultCycles
+	cycles += faultCycles
+	// Re-walk is folded into the install cost (the handler returns the PFN).
+	pfn, _, _ = as.pt.walk(vpn, nopMem{})
+	return pfn, cycles, true
+}
+
+// ResidentPages returns the current number of mapped data pages.
+func (as *AddressSpace) ResidentPages() uint64 { return as.residentPages }
+
+// PeakResidentPages returns the high-water mark of mapped data pages.
+func (as *AddressSpace) PeakResidentPages() uint64 { return as.peakResident }
+
+// MappedVPN reports whether vpn currently has a present translation,
+// without charging any cycles. Used by tests and the allocators' assertions.
+func (as *AddressSpace) MappedVPN(vpn uint64) bool {
+	_, _, ok := as.pt.walk(vpn, nopMem{})
+	return ok
+}
+
+// CoveredVPN reports whether a VMA covers vpn (mapped or not yet faulted).
+func (as *AddressSpace) CoveredVPN(vpn uint64) bool {
+	_, ok := as.findVMA(vpn)
+	return ok
+}
+
+// AllocPoolPages hands n physical frames to the Memento hardware page
+// allocator's pool (Section 3.2: "a simple physical page pool consisting of
+// free physical pages replenished by the OS on-demand"). The replenishment
+// happens off the function's critical path, so only the frames and a small
+// bookkeeping cost are returned.
+func (k *Kernel) AllocPoolPages(n int) (frames []uint64, cycles uint64, ok bool) {
+	frames = make([]uint64, 0, n)
+	for i := 0; i < n; i++ {
+		f, allocOK := k.buddy.Alloc(0)
+		if !allocOK {
+			return frames, cycles, false
+		}
+		frames = append(frames, f)
+		cycles += k.cfg.InstrCycles(k.cfg.Cost.BuddyAllocInstrs)
+	}
+	return frames, cycles, true
+}
+
+// FreePoolPages returns frames from the Memento pool to the buddy.
+func (k *Kernel) FreePoolPages(frames []uint64) error {
+	for _, f := range frames {
+		if err := k.buddy.Free(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CountUserPage lets the Memento page allocator record data pages it backs,
+// keeping Fig 11's user-page accounting comparable across stacks.
+func (k *Kernel) CountUserPage(n uint64) { k.stats.UserPagesAllocated += n }
+
+// CountKernelPage records metadata pages consumed outside the kernel proper
+// (the Memento page-table pages built by the hardware), so Fig 11's
+// kernel-memory accounting stays comparable across stacks.
+func (k *Kernel) CountKernelPage(n uint64) { k.stats.KernelPagesAllocated += n }
+
+// nopMem satisfies Mem without charging cycles, for cycle-free re-walks.
+type nopMem struct{}
+
+func (nopMem) Access(pa uint64, write bool) uint64 { return 0 }

@@ -1,0 +1,217 @@
+package kernel
+
+import (
+	"memento/internal/config"
+)
+
+// Mem is the memory the kernel's metadata operations go through. The cache
+// hierarchy implements it; kernel page-table walks, PTE installs, and page
+// zeroing all generate real simulated traffic.
+type Mem interface {
+	// Access performs one data access at physical address pa and returns
+	// its latency in cycles.
+	Access(pa uint64, write bool) uint64
+}
+
+// ptLevels is the number of page-table levels (x86-64 4-level paging:
+// PGD, PUD, PMD, PTE).
+const ptLevels = 4
+
+// ptFanout is entries per table page (512 8-byte entries in a 4 KiB page).
+const ptFanout = 512
+
+// ptNode is one page-table page. Interior nodes hold children; the leaf
+// level holds PTEs encoded as pfn+1 (0 = not present), mirroring hardware
+// present bits.
+type ptNode struct {
+	pfn      uint64
+	children []*ptNode // nil at leaf level
+	pte      []uint64  // nil at interior levels
+}
+
+// PageTable is a 4-level page table whose table pages are real simulated
+// frames, so walks and edits produce memory traffic at the right addresses.
+type PageTable struct {
+	root *ptNode
+	// tablePages counts allocated page-table pages (kernel memory, Fig 11).
+	tablePages uint64
+}
+
+// newPTNode allocates one table page from the buddy allocator and zeroes it
+// through mem (kernels zero new page-table pages), returning the node and
+// the cycle cost.
+func (k *Kernel) newPTNode(leaf bool) (*ptNode, uint64, bool) {
+	frame, ok := k.buddy.Alloc(0)
+	if !ok {
+		return nil, 0, false
+	}
+	cycles := k.cfg.InstrCycles(k.cfg.Cost.BuddyAllocInstrs)
+	cycles += k.zeroPage(frame)
+	n := &ptNode{pfn: frame}
+	if leaf {
+		n.pte = make([]uint64, ptFanout)
+	} else {
+		n.children = make([]*ptNode, ptFanout)
+	}
+	k.stats.KernelPagesAllocated++
+	k.stats.PageTablePages++
+	return n, cycles, true
+}
+
+// streamZeroer is the non-temporal zeroing path the cache hierarchy offers.
+type streamZeroer interface {
+	StreamZero(pa uint64) uint64
+}
+
+// zeroPage clears a frame the way clear_page does: non-temporal stores that
+// stream to DRAM without warming the cache, when the memory model supports
+// it; otherwise ordinary writes (simple Mem fakes in tests).
+func (k *Kernel) zeroPage(frame uint64) uint64 {
+	base := frame << config.PageShift
+	var cycles uint64
+	if sz, ok := k.mem.(streamZeroer); ok {
+		for off := uint64(0); off < config.PageSize; off += config.LineSize {
+			cycles += sz.StreamZero(base + off)
+		}
+		return cycles + k.cfg.InstrCycles(64)
+	}
+	for off := uint64(0); off < config.PageSize; off += config.LineSize {
+		cycles += k.mem.Access(base+off, true)
+	}
+	return cycles
+}
+
+// ptIndex extracts the index for the given level (3 = root) from a VPN.
+func ptIndex(vpn uint64, level int) uint64 {
+	return (vpn >> uint(9*level)) & (ptFanout - 1)
+}
+
+// walk traverses the table reading each level's entry through mem. It
+// returns the mapped PFN (ok) or the deepest node reached (for installs).
+func (pt *PageTable) walk(vpn uint64, mem Mem) (pfn uint64, cycles uint64, ok bool) {
+	node := pt.root
+	if node == nil {
+		return 0, 0, false
+	}
+	for level := ptLevels - 1; level >= 1; level-- {
+		idx := ptIndex(vpn, level)
+		cycles += mem.Access(node.pfn<<config.PageShift+idx*8, false)
+		node = node.children[idx]
+		if node == nil {
+			return 0, cycles, false
+		}
+	}
+	idx := ptIndex(vpn, 0)
+	cycles += mem.Access(node.pfn<<config.PageShift+idx*8, false)
+	if node.pte[idx] == 0 {
+		return 0, cycles, false
+	}
+	return node.pte[idx] - 1, cycles, true
+}
+
+// install maps vpn -> pfn, creating intermediate levels as needed. Returns
+// the cycle cost. Fails only when physical memory for table pages runs out.
+func (k *Kernel) install(pt *PageTable, vpn, pfn uint64) (uint64, bool) {
+	var cycles uint64
+	if pt.root == nil {
+		n, c, ok := k.newPTNode(false)
+		if !ok {
+			return cycles, false
+		}
+		pt.root = n
+		cycles += c
+	}
+	node := pt.root
+	for level := ptLevels - 1; level >= 1; level-- {
+		idx := ptIndex(vpn, level)
+		cycles += k.mem.Access(node.pfn<<config.PageShift+idx*8, false)
+		if node.children[idx] == nil {
+			leaf := level == 1
+			n, c, ok := k.newPTNode(leaf)
+			if !ok {
+				return cycles, false
+			}
+			cycles += c
+			// Write the new entry into this level.
+			cycles += k.mem.Access(node.pfn<<config.PageShift+idx*8, true)
+			node.children[idx] = n
+		}
+		node = node.children[idx]
+	}
+	idx := ptIndex(vpn, 0)
+	cycles += k.mem.Access(node.pfn<<config.PageShift+idx*8, true)
+	node.pte[idx] = pfn + 1
+	return cycles, true
+}
+
+// clear unmaps vpn, returning the old PFN and the cycle cost of the PTE
+// write. Empty page-table pages are freed recursively by munmap's sweep
+// (clear itself leaves structure in place for speed; see reapEmpty).
+func (pt *PageTable) clear(vpn uint64, mem Mem) (pfn uint64, cycles uint64, ok bool) {
+	node := pt.root
+	if node == nil {
+		return 0, 0, false
+	}
+	for level := ptLevels - 1; level >= 1; level-- {
+		idx := ptIndex(vpn, level)
+		cycles += mem.Access(node.pfn<<config.PageShift+idx*8, false)
+		node = node.children[idx]
+		if node == nil {
+			return 0, cycles, false
+		}
+	}
+	idx := ptIndex(vpn, 0)
+	if node.pte[idx] == 0 {
+		return 0, cycles, false
+	}
+	pfn = node.pte[idx] - 1
+	node.pte[idx] = 0
+	cycles += mem.Access(node.pfn<<config.PageShift+idx*8, true)
+	return pfn, cycles, true
+}
+
+// reapEmpty frees page-table pages that no longer contain any valid entry,
+// as munmap does when "relevant page tables become empty" (Section 2.1).
+// It returns the number of table pages freed and the cycle cost.
+func (k *Kernel) reapEmpty(pt *PageTable) (freed uint64, cycles uint64) {
+	if pt.root == nil {
+		return 0, 0
+	}
+	var rec func(n *ptNode) (empty bool)
+	rec = func(n *ptNode) bool {
+		if n.pte != nil {
+			for _, e := range n.pte {
+				if e != 0 {
+					return false
+				}
+			}
+			return true
+		}
+		allEmpty := true
+		for i, c := range n.children {
+			if c == nil {
+				continue
+			}
+			if rec(c) {
+				if err := k.buddy.Free(c.pfn); err == nil {
+					freed++
+					k.stats.PageTablePages--
+					cycles += k.cfg.InstrCycles(k.cfg.Cost.BuddyFreeInstrs)
+				}
+				n.children[i] = nil
+			} else {
+				allEmpty = false
+			}
+		}
+		return allEmpty
+	}
+	if rec(pt.root) {
+		if err := k.buddy.Free(pt.root.pfn); err == nil {
+			freed++
+			k.stats.PageTablePages--
+			cycles += k.cfg.InstrCycles(k.cfg.Cost.BuddyFreeInstrs)
+		}
+		pt.root = nil
+	}
+	return freed, cycles
+}

@@ -1,0 +1,43 @@
+package machine
+
+import (
+	"testing"
+
+	"memento/internal/config"
+	"memento/internal/stats"
+	"memento/internal/workload"
+)
+
+// TestCalibrationReport prints the per-workload comparison against the
+// paper's headline numbers. Run with -v to see the table; the assertions
+// only check the coarse shape so normal runs stay quiet.
+func TestCalibrationReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration sweep")
+	}
+	var funcSpeedups []float64
+	for _, p := range workload.Profiles() {
+		tr := workload.Generate(p)
+		base, mem, err := RunPair(config.Default(), tr, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		s := Speedup(base, mem)
+		mmShare := float64(base.Buckets.MM()) / float64(base.Cycles)
+		userShare := stats.Ratio(base.Buckets.UserAlloc+base.Buckets.UserFree+base.Buckets.GC,
+			base.Buckets.Kernel)
+		bwSave := 1 - float64(mem.DRAM.TotalBytes())/float64(base.DRAM.TotalBytes())
+		memSave := 1 - float64(mem.TotalPages())/float64(base.TotalPages())
+		t.Logf("%-10s %-7s speedup=%.3f (paper %.3f)  mmShare=%.2f user/kernel=%.2f/%.2f  bw-save=%.2f mem-save=%.2f  hotAllocHR=%.3f hotFreeHR=%.3f",
+			p.Name, p.Lang, s, p.PaperSpeedup, mmShare, userShare, 1-userShare, bwSave, memSave,
+			mem.HOT.AllocHitRate(), mem.HOT.FreeHitRate())
+		if p.Class == workload.Function {
+			funcSpeedups = append(funcSpeedups, s)
+		}
+	}
+	avg := stats.Mean(funcSpeedups)
+	t.Logf("func-avg speedup = %.3f (paper 1.16)", avg)
+	if avg < 1.02 {
+		t.Fatalf("function average speedup %.3f too low", avg)
+	}
+}

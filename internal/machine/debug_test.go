@@ -1,0 +1,25 @@
+package machine
+
+import (
+	"testing"
+
+	"memento/internal/config"
+	"memento/internal/workload"
+)
+
+func TestDebugBuckets(t *testing.T) {
+	for _, name := range []string{"html", "US", "html-go"} {
+		p, _ := workload.ByName(name)
+		tr := workload.Generate(p)
+		base, mem, err := RunPair(config.Default(), tr, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%s BASE  total=%d comp=%d appmem=%d ualloc=%d ufree=%d kern=%d gc=%d | dramR=%d dramW=%d | faults=%d upages=%d kpages=%d",
+			name, base.Cycles, base.Buckets.AppCompute, base.Buckets.AppMem, base.Buckets.UserAlloc, base.Buckets.UserFree, base.Buckets.Kernel, base.Buckets.GC,
+			base.DRAM.ReadBytes, base.DRAM.WriteBytes, base.Kernel.PageFaults, base.UserPages, base.KernelPages)
+		t.Logf("%s MEM   total=%d comp=%d appmem=%d ualloc=%d ufree=%d kern=%d pgmgmt=%d | dramR=%d dramW=%d | backed=%d upages=%d kpages=%d bypass=%d offcrit=%d",
+			name, mem.Cycles, mem.Buckets.AppCompute, mem.Buckets.AppMem, mem.Buckets.UserAlloc, mem.Buckets.UserFree, mem.Buckets.Kernel, mem.Buckets.PageMgmt,
+			mem.DRAM.ReadBytes, mem.DRAM.WriteBytes, mem.PageAlloc.PagesBacked, mem.UserPages, mem.KernelPages, mem.HOT.BypassedLines, mem.HOT.OffCriticalCycles)
+	}
+}

@@ -1,0 +1,189 @@
+package machine
+
+import (
+	"testing"
+
+	"memento/internal/config"
+	"memento/internal/trace"
+	"memento/internal/workload"
+)
+
+// TestRunsAreDeterministic: identical configuration + trace must give
+// bit-identical results, the property every experiment relies on.
+func TestRunsAreDeterministic(t *testing.T) {
+	p, _ := workload.ByName("jd")
+	tr := workload.Generate(p)
+	var prev *Result
+	for i := 0; i < 3; i++ {
+		m, err := New(config.Default())
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := m.Run(tr, Options{Stack: Memento})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev != nil {
+			if r.Cycles != prev.Cycles {
+				t.Fatalf("run %d: cycles %d != %d", i, r.Cycles, prev.Cycles)
+			}
+			if r.Buckets != prev.Buckets {
+				t.Fatalf("run %d: buckets differ: %+v vs %+v", i, r.Buckets, prev.Buckets)
+			}
+			if r.DRAM != prev.DRAM {
+				t.Fatalf("run %d: DRAM stats differ", i)
+			}
+			if r.HOT != prev.HOT {
+				t.Fatalf("run %d: HOT stats differ", i)
+			}
+		}
+		prev = &r
+	}
+}
+
+// TestStacksSeeTheSameApplication: app compute is identical across stacks
+// (only MM differs), which the Fig 9 attribution depends on.
+func TestStacksSeeTheSameApplication(t *testing.T) {
+	p, _ := workload.ByName("mk")
+	tr := workload.Generate(p)
+	base, mem, err := RunPair(config.Default(), tr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Buckets.AppCompute != mem.Buckets.AppCompute {
+		t.Fatalf("app compute differs across stacks: %d vs %d",
+			base.Buckets.AppCompute, mem.Buckets.AppCompute)
+	}
+}
+
+// TestBucketsCoverAllCycles: no cycles escape attribution.
+func TestBucketsCoverAllCycles(t *testing.T) {
+	for _, name := range []string{"aes", "UM", "deploy"} {
+		p, _ := workload.ByName(name)
+		tr := workload.Generate(p)
+		for _, stack := range []Stack{Baseline, Memento} {
+			m, _ := New(config.Default())
+			r, err := m.Run(tr, Options{Stack: stack})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Buckets.Total() != r.Cycles {
+				t.Fatalf("%s/%v: buckets %d != cycles %d", name, stack, r.Buckets.Total(), r.Cycles)
+			}
+		}
+	}
+}
+
+// TestMementoNeverLosesToBaselineOnMM: on every workload, the Memento
+// stack's memory-management cycles must be lower.
+func TestMementoNeverLosesToBaselineOnMM(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep")
+	}
+	for _, p := range workload.Profiles() {
+		tr := workload.Generate(p)
+		base, mem, err := RunPair(config.Default(), tr, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if mem.Buckets.MM() >= base.Buckets.MM() {
+			t.Errorf("%s: MM cycles %d -> %d (no reduction)", p.Name, base.Buckets.MM(), mem.Buckets.MM())
+		}
+		if s := Speedup(base, mem); s <= 1.0 {
+			t.Errorf("%s: speedup %.3f", p.Name, s)
+		}
+	}
+}
+
+// TestGCFrequencyMatters: more frequent GC costs more cycles in the GC
+// bucket on the same allocation stream.
+func TestGCFrequencyMatters(t *testing.T) {
+	p, _ := workload.ByName("deploy")
+	rare := p
+	rare.GCPeriod = 30000
+	frequent := p
+	frequent.GCPeriod = 4000
+
+	run := func(prof workload.Profile) Result {
+		m, _ := New(config.Default())
+		r, err := m.Run(workload.Generate(prof), Options{Stack: Baseline})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	if run(frequent).Buckets.GC <= run(rare).Buckets.GC {
+		t.Fatal("more frequent GC should cost more GC cycles")
+	}
+}
+
+// TestLanguageAllocatorSelection: the machine must bind the right baseline
+// allocator per language.
+func TestLanguageAllocatorSelection(t *testing.T) {
+	cases := []struct {
+		lang trace.Language
+		gc   bool
+	}{{trace.Python, false}, {trace.Cpp, false}, {trace.Golang, false}}
+	for _, c := range cases {
+		m, _ := New(config.Default())
+		tr := &trace.Trace{Name: "sel", Lang: c.lang, Objects: 1,
+			Events: []trace.Event{{Kind: trace.KindAlloc, Obj: 0, Size: 64}}}
+		if _, err := m.Run(tr, Options{Stack: Baseline}); err != nil {
+			t.Fatalf("%v: %v", c.lang, err)
+		}
+	}
+	m, _ := New(config.Default())
+	bad := &trace.Trace{Name: "bad", Lang: trace.Language(99), Objects: 1,
+		Events: []trace.Event{{Kind: trace.KindAlloc, Obj: 0, Size: 64}}}
+	if _, err := m.Run(bad, Options{Stack: Baseline}); err == nil {
+		t.Fatal("unknown language must be rejected")
+	}
+}
+
+// TestTouchZeroBytesTouchesWholeObject: a Touch with Bytes=0 covers the
+// object's allocated size.
+func TestTouchZeroBytesTouchesWholeObject(t *testing.T) {
+	m, _ := New(config.Default())
+	tr := &trace.Trace{Name: "touch", Lang: trace.Python, Objects: 1,
+		Events: []trace.Event{
+			{Kind: trace.KindAlloc, Obj: 0, Size: 512},
+			{Kind: trace.KindTouch, Obj: 0}, // Bytes 0 -> whole object
+		}}
+	r, err := m.Run(tr, Options{Stack: Baseline})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Buckets.AppMem == 0 {
+		t.Fatal("touch charged nothing")
+	}
+}
+
+// TestEphemeralAwareTraceValidates: the Section 4 extension trace is well
+// formed and frees more objects promptly than the standard Golang trace.
+func TestEphemeralAwareTraceValidates(t *testing.T) {
+	p, _ := workload.ByName("invoke")
+	std := workload.Generate(p)
+	eph := workload.GenerateEphemeralAware(p)
+	if err := eph.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	countPromptFrees := func(tr *trace.Trace) (prompt int) {
+		afterGC := false
+		for _, e := range tr.Events {
+			switch e.Kind {
+			case trace.KindGC:
+				afterGC = true
+			case trace.KindAlloc:
+				afterGC = false
+			case trace.KindFree:
+				if !afterGC {
+					prompt++
+				}
+			}
+		}
+		return prompt
+	}
+	if countPromptFrees(eph) <= countPromptFrees(std) {
+		t.Fatal("ephemeral-aware trace should free promptly")
+	}
+}

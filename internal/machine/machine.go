@@ -1,0 +1,197 @@
+// Package machine is the timing simulator: it executes memory-management
+// traces against either the baseline software stack (language allocator +
+// simulated kernel) or the Memento stack (hardware object allocator +
+// hardware page allocator + bypass), charging every event through the
+// shared cache hierarchy, TLBs, and DRAM model, and attributing cycles to
+// the categories the paper reports (Table 2, Figs 8-11).
+package machine
+
+import (
+	"fmt"
+
+	"memento/internal/cache"
+	"memento/internal/config"
+	"memento/internal/core"
+	"memento/internal/dram"
+	"memento/internal/kernel"
+	"memento/internal/softalloc"
+	"memento/internal/tlb"
+	"memento/internal/trace"
+)
+
+// Stack selects the memory-management system under test.
+type Stack int
+
+const (
+	// Baseline is the software stack the paper measures against.
+	Baseline Stack = iota
+	// Memento is the paper's hardware design.
+	Memento
+)
+
+// String implements fmt.Stringer.
+func (s Stack) String() string {
+	if s == Memento {
+		return "memento"
+	}
+	return "baseline"
+}
+
+// Options configure one simulation run.
+type Options struct {
+	Stack Stack
+	// ColdStart prepends the container setup cost (Section 6.6).
+	ColdStart bool
+	// MallaccIdeal models the idealized Mallacc of Section 6.7: the
+	// userspace allocator fast path costs zero cycles (cache always hits at
+	// zero latency); kernel costs remain. Only meaningful on Baseline.
+	MallaccIdeal bool
+	// JEMallocOpts overrides the C++ allocator knobs (Section 6.6 tuning).
+	JEMallocOpts *softalloc.JEMallocOpts
+	// MmapPopulate forces MAP_POPULATE on all allocator mmaps
+	// (Section 6.6).
+	MmapPopulate bool
+}
+
+// Buckets is the cycle attribution the Fig 9 breakdown derives from.
+type Buckets struct {
+	// AppCompute is non-MM application work (including RPCs, cold start).
+	AppCompute uint64
+	// AppMem is application data-access time (touches).
+	AppMem uint64
+	// UserAlloc / UserFree are userspace (or hardware-object) MM cycles on
+	// the critical path.
+	UserAlloc uint64
+	UserFree  uint64
+	// Kernel is kernel MM work: syscalls, page faults, exit teardown.
+	Kernel uint64
+	// PageMgmt is Memento's hardware page-allocator work (first-touch
+	// backing, arena teardown) — the category that replaces Kernel.
+	PageMgmt uint64
+	// GC is garbage-collection mark work (Golang).
+	GC uint64
+	// CtxSwitch is scheduler + HOT/TLB flush cost (multi-process runs).
+	CtxSwitch uint64
+}
+
+// Total sums all buckets.
+func (b Buckets) Total() uint64 {
+	return b.AppCompute + b.AppMem + b.UserAlloc + b.UserFree + b.Kernel + b.PageMgmt + b.GC + b.CtxSwitch
+}
+
+// MM returns all memory-management cycles.
+func (b Buckets) MM() uint64 {
+	return b.UserAlloc + b.UserFree + b.Kernel + b.PageMgmt + b.GC
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	Workload string
+	Lang     trace.Language
+	Stack    Stack
+
+	Cycles  uint64
+	Buckets Buckets
+
+	DRAM   dram.Stats
+	Hier   cache.Stats
+	TLB    tlb.Stats
+	Kernel kernel.Stats
+	// HOT and PageAlloc are zero for baseline runs.
+	HOT       core.Stats
+	PageAlloc core.PageAllocStats
+	Soft      softalloc.Stats
+
+	// UserPages / KernelPages are the aggregate (cumulative) physical pages
+	// allocated during execution, the Fig 11 metric.
+	UserPages   uint64
+	KernelPages uint64
+	// PeakResidentPages is the high-water mark of resident pages (software
+	// address space plus, on the Memento stack, hardware-backed arena
+	// pages) — the §6.5 pricing model's memory term.
+	PeakResidentPages uint64
+	// Fragmentation is the end-of-run fraction of inactive small-object
+	// slots (§6.6).
+	Fragmentation float64
+}
+
+// TotalPages returns aggregate user+kernel page allocations.
+func (r Result) TotalPages() uint64 { return r.UserPages + r.KernelPages }
+
+// Machine bundles the shared hardware: one core with its hierarchy, TLBs,
+// DRAM, and the OS kernel.
+type Machine struct {
+	cfg  config.Machine
+	d    *dram.DRAM
+	h    *cache.Hierarchy
+	k    *kernel.Kernel
+	tlbs *tlb.System
+}
+
+// New builds a machine from configuration.
+func New(cfg config.Machine) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	d := dram.New(cfg.DRAM)
+	h := cache.NewHierarchy(cfg, d)
+	return &Machine{
+		cfg:  cfg,
+		d:    d,
+		h:    h,
+		k:    kernel.New(cfg, h),
+		tlbs: tlb.NewSystem(cfg),
+	}, nil
+}
+
+// Config returns the machine configuration.
+func (m *Machine) Config() config.Machine { return m.cfg }
+
+// Run executes one trace to completion on a fresh process.
+func (m *Machine) Run(tr *trace.Trace, opt Options) (Result, error) {
+	p, err := m.newProcess(tr, opt)
+	if err != nil {
+		return Result{}, err
+	}
+	for !p.done() {
+		if err := p.step(); err != nil {
+			return Result{}, fmt.Errorf("machine: %s event %d: %w", tr.Name, p.pc, err)
+		}
+	}
+	if err := p.finish(); err != nil {
+		return Result{}, err
+	}
+	return p.result(), nil
+}
+
+// RunPair runs the same trace on a fresh baseline machine and a fresh
+// Memento machine with identical configuration, the comparison every
+// speedup figure is built on.
+func RunPair(cfg config.Machine, tr *trace.Trace, opt Options) (base, mem Result, err error) {
+	mb, err := New(cfg)
+	if err != nil {
+		return base, mem, err
+	}
+	ob := opt
+	ob.Stack = Baseline
+	base, err = mb.Run(tr, ob)
+	if err != nil {
+		return base, mem, err
+	}
+	mm, err := New(cfg)
+	if err != nil {
+		return base, mem, err
+	}
+	om := opt
+	om.Stack = Memento
+	mem, err = mm.Run(tr, om)
+	return base, mem, err
+}
+
+// Speedup returns base cycles / memento cycles.
+func Speedup(base, mem Result) float64 {
+	if mem.Cycles == 0 {
+		return 0
+	}
+	return float64(base.Cycles) / float64(mem.Cycles)
+}

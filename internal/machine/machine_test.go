@@ -1,0 +1,261 @@
+package machine
+
+import (
+	"testing"
+
+	"memento/internal/config"
+	"memento/internal/trace"
+	"memento/internal/workload"
+)
+
+// microTrace is a tiny hand-built workload.
+func microTrace(lang trace.Language) *trace.Trace {
+	tr := &trace.Trace{Name: "micro", Lang: lang, Objects: 3}
+	tr.Events = []trace.Event{
+		{Kind: trace.KindAlloc, Obj: 0, Size: 64},
+		{Kind: trace.KindTouch, Obj: 0, Bytes: 64, Write: true},
+		{Kind: trace.KindCompute, Cycles: 1000},
+		{Kind: trace.KindAlloc, Obj: 1, Size: 2048},
+		{Kind: trace.KindTouch, Obj: 1, Bytes: 2048, Write: true},
+		{Kind: trace.KindFree, Obj: 0},
+		{Kind: trace.KindAlloc, Obj: 2, Size: 64},
+		{Kind: trace.KindTouch, Obj: 2, Write: false},
+		{Kind: trace.KindFree, Obj: 1},
+	}
+	return tr
+}
+
+func TestRunMicroBothStacks(t *testing.T) {
+	for _, lang := range []trace.Language{trace.Python, trace.Cpp, trace.Golang} {
+		for _, stack := range []Stack{Baseline, Memento} {
+			m, err := New(config.Default())
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err := m.Run(microTrace(lang), Options{Stack: stack})
+			if err != nil {
+				t.Fatalf("%v/%v: %v", lang, stack, err)
+			}
+			if r.Cycles == 0 {
+				t.Fatalf("%v/%v: zero cycles", lang, stack)
+			}
+			if r.Buckets.AppCompute < 1000 {
+				t.Fatalf("%v/%v: compute not charged", lang, stack)
+			}
+			if r.Buckets.Total() != r.Cycles {
+				t.Fatalf("%v/%v: bucket total mismatch", lang, stack)
+			}
+		}
+	}
+}
+
+func TestMementoUsesHOTForSmall(t *testing.T) {
+	m, _ := New(config.Default())
+	r, err := m.Run(microTrace(trace.Python), Options{Stack: Memento})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.HOT.Allocs != 2 { // two small allocations; the 2048B one goes large
+		t.Fatalf("HOT allocs = %d, want 2", r.HOT.Allocs)
+	}
+	if r.Soft.Allocs != 1 {
+		t.Fatalf("software (large) allocs = %d, want 1", r.Soft.Allocs)
+	}
+}
+
+func TestBaselineChargesKernelOnFirstTouch(t *testing.T) {
+	m, _ := New(config.Default())
+	r, err := m.Run(microTrace(trace.Python), Options{Stack: Baseline})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Kernel.PageFaults == 0 {
+		t.Fatal("baseline must page-fault on first touches")
+	}
+	if r.Buckets.Kernel == 0 {
+		t.Fatal("kernel bucket empty")
+	}
+}
+
+func TestMementoAvoidsKernelFaultsForSmall(t *testing.T) {
+	m, _ := New(config.Default())
+	tr := &trace.Trace{Name: "small-only", Lang: trace.Python, Objects: 100}
+	for i := 0; i < 100; i++ {
+		tr.Events = append(tr.Events,
+			trace.Event{Kind: trace.KindAlloc, Obj: i, Size: 128},
+			trace.Event{Kind: trace.KindTouch, Obj: i, Bytes: 128, Write: true})
+	}
+	r, err := m.Run(tr, Options{Stack: Memento})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Kernel.PageFaults != 0 {
+		t.Fatalf("memento small-object run took %d kernel faults", r.Kernel.PageFaults)
+	}
+	if r.PageAlloc.PagesBacked == 0 {
+		t.Fatal("hardware page allocator backed nothing")
+	}
+}
+
+func TestRunPairSpeedupOnRealWorkload(t *testing.T) {
+	p, _ := workload.ByName("html")
+	tr := workload.Generate(p)
+	base, mem, err := RunPair(config.Default(), tr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Speedup(base, mem)
+	if s <= 1.0 {
+		t.Fatalf("memento speedup = %.3f, must beat baseline", s)
+	}
+	if s > 2.0 {
+		t.Fatalf("memento speedup = %.3f, implausibly high", s)
+	}
+	// MM cycles must shrink dramatically.
+	if mem.Buckets.MM() >= base.Buckets.MM() {
+		t.Fatalf("MM cycles did not shrink: %d -> %d", base.Buckets.MM(), mem.Buckets.MM())
+	}
+	// DRAM traffic must shrink (Fig 10).
+	if mem.DRAM.TotalBytes() >= base.DRAM.TotalBytes() {
+		t.Fatalf("DRAM traffic did not shrink: %d -> %d", base.DRAM.TotalBytes(), mem.DRAM.TotalBytes())
+	}
+}
+
+func TestGCEventCharged(t *testing.T) {
+	m, _ := New(config.Default())
+	tr := &trace.Trace{Name: "gc", Lang: trace.Golang, Objects: 10}
+	for i := 0; i < 10; i++ {
+		tr.Events = append(tr.Events, trace.Event{Kind: trace.KindAlloc, Obj: i, Size: 64})
+	}
+	tr.Events = append(tr.Events, trace.Event{Kind: trace.KindGC})
+	for i := 0; i < 5; i++ {
+		tr.Events = append(tr.Events, trace.Event{Kind: trace.KindFree, Obj: i})
+	}
+	r, err := m.Run(tr, Options{Stack: Baseline})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Buckets.GC == 0 {
+		t.Fatal("GC bucket empty")
+	}
+}
+
+func TestContextSwitchFlushesHOT(t *testing.T) {
+	m, _ := New(config.Default())
+	tr := &trace.Trace{Name: "cs", Lang: trace.Python, Objects: 2}
+	tr.Events = []trace.Event{
+		{Kind: trace.KindAlloc, Obj: 0, Size: 64},
+		{Kind: trace.KindContextSwitch},
+		{Kind: trace.KindAlloc, Obj: 1, Size: 64},
+	}
+	r, err := m.Run(tr, Options{Stack: Memento})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.HOT.HOTFlushes != 1 {
+		t.Fatalf("HOT flushes = %d, want 1", r.HOT.HOTFlushes)
+	}
+	if r.Buckets.CtxSwitch == 0 {
+		t.Fatal("context-switch bucket empty")
+	}
+}
+
+func TestColdStartAddsFixedCost(t *testing.T) {
+	p, _ := workload.ByName("aes")
+	tr := workload.Generate(p)
+	m1, _ := New(config.Default())
+	warm, err := m1.Run(tr, Options{Stack: Baseline})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, _ := New(config.Default())
+	cold, err := m2.Run(tr, Options{Stack: Baseline, ColdStart: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cold start adds the container setup plus runtime initialization.
+	if cold.Cycles < warm.Cycles+tr.ColdStartCycles {
+		t.Fatalf("cold start delta = %d, want >= %d", cold.Cycles-warm.Cycles, tr.ColdStartCycles)
+	}
+}
+
+func TestMallaccIdealRemovesUserFastPath(t *testing.T) {
+	p, _ := workload.ByName("US")
+	tr := workload.Generate(p)
+	m1, _ := New(config.Default())
+	base, err := m1.Run(tr, Options{Stack: Baseline})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, _ := New(config.Default())
+	mal, err := m2.Run(tr, Options{Stack: Baseline, MallaccIdeal: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mal.Buckets.UserAlloc >= base.Buckets.UserAlloc {
+		t.Fatal("idealized Mallacc must erase userspace alloc cycles")
+	}
+	if mal.Buckets.Kernel < base.Buckets.Kernel/2 {
+		t.Fatal("Mallacc must not help the kernel side")
+	}
+	if mal.Cycles >= base.Cycles {
+		t.Fatal("Mallacc must be faster than baseline")
+	}
+}
+
+func TestMmapPopulateOption(t *testing.T) {
+	p, _ := workload.ByName("bfs-go")
+	tr := workload.Generate(p)
+	m1, _ := New(config.Default())
+	lazy, err := m1.Run(tr, Options{Stack: Baseline})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, _ := New(config.Default())
+	pop, err := m2.Run(tr, Options{Stack: Baseline, MmapPopulate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pop.UserPages <= lazy.UserPages {
+		t.Fatal("MAP_POPULATE must inflate the physical footprint")
+	}
+	if pop.Kernel.PageFaults >= lazy.Kernel.PageFaults {
+		t.Fatal("MAP_POPULATE must remove demand faults")
+	}
+}
+
+func TestMultiProcessRun(t *testing.T) {
+	var traces []*trace.Trace
+	for _, name := range []string{"aes", "jl"} {
+		p, _ := workload.ByName(name)
+		p.Allocs = 2000 // keep the test quick
+		traces = append(traces, workload.Generate(p))
+	}
+	m, _ := New(config.Default())
+	results, err := m.RunMultiProcess(traces, Options{Stack: Memento}, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results = %d", len(results))
+	}
+	for _, r := range results {
+		if r.Cycles == 0 {
+			t.Fatal("zero cycles in multi-process result")
+		}
+		if r.HOT.HOTFlushes == 0 {
+			t.Fatal("time sharing must flush the HOT")
+		}
+		if r.Buckets.CtxSwitch == 0 {
+			t.Fatal("context-switch cost missing")
+		}
+	}
+}
+
+func TestResultValidatesTraceErrors(t *testing.T) {
+	m, _ := New(config.Default())
+	bad := &trace.Trace{Name: "bad", Objects: 1, Events: []trace.Event{{Kind: trace.KindFree, Obj: 0}}}
+	if _, err := m.Run(bad, Options{}); err == nil {
+		t.Fatal("invalid trace must be rejected")
+	}
+}

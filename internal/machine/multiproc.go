@@ -1,0 +1,56 @@
+package machine
+
+import "memento/internal/trace"
+
+// RunMultiProcess time-shares one core among several function instances
+// (the Section 6.6 multi-process study: "a single core is over-subscribed
+// by several time-sharing function instances"). Each process gets its own
+// address space and allocator (or Memento unit); every quantum of events
+// ends with a context switch that flushes the TLBs and, on the Memento
+// stack, the HOT.
+func (m *Machine) RunMultiProcess(traces []*trace.Trace, opt Options, quantum int) ([]Result, error) {
+	if quantum <= 0 {
+		quantum = 2000
+	}
+	procs := make([]*process, len(traces))
+	for i, tr := range traces {
+		p, err := m.newProcess(tr, opt)
+		if err != nil {
+			return nil, err
+		}
+		procs[i] = p
+	}
+	for {
+		progress := false
+		for _, p := range procs {
+			if p.done() {
+				if !p.finished {
+					if err := p.finish(); err != nil {
+						return nil, err
+					}
+				}
+				continue
+			}
+			progress = true
+			for j := 0; j < quantum && !p.done(); j++ {
+				if err := p.step(); err != nil {
+					return nil, err
+				}
+			}
+			if p.done() {
+				if err := p.finish(); err != nil {
+					return nil, err
+				}
+			}
+			p.b.CtxSwitch += p.contextSwitch()
+		}
+		if !progress {
+			break
+		}
+	}
+	results := make([]Result, len(procs))
+	for i, p := range procs {
+		results[i] = p.result()
+	}
+	return results, nil
+}

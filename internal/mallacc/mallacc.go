@@ -1,0 +1,61 @@
+// Package mallacc models the idealized Mallacc configuration of
+// Section 6.7: Kanev et al.'s malloc-acceleration cache (MICRO-relevant
+// prior work) with zero latency and a 100% hit rate. Mallacc accelerates
+// only the userspace malloc fast path (size-class computation, free-list
+// pops) of TCMalloc-style C++ allocators; it does not help kernel memory
+// management, other languages, or memory traffic — the contrasts the paper
+// draws against Memento.
+package mallacc
+
+import (
+	"fmt"
+
+	"memento/internal/config"
+	"memento/internal/machine"
+	"memento/internal/trace"
+)
+
+// Comparison is one workload's three-way result.
+type Comparison struct {
+	Workload string
+	Baseline machine.Result
+	Mallacc  machine.Result
+	Memento  machine.Result
+}
+
+// MallaccSpeedup returns baseline/mallacc cycles.
+func (c Comparison) MallaccSpeedup() float64 {
+	return machine.Speedup(c.Baseline, c.Mallacc)
+}
+
+// MementoSpeedup returns baseline/memento cycles.
+func (c Comparison) MementoSpeedup() float64 {
+	return machine.Speedup(c.Baseline, c.Memento)
+}
+
+// Run executes the three-way comparison for one C++ trace on fresh
+// machines with identical configuration.
+func Run(cfg config.Machine, tr *trace.Trace) (Comparison, error) {
+	if tr.Lang != trace.Cpp {
+		return Comparison{}, fmt.Errorf("mallacc: only C++ workloads are supported (got %v)", tr.Lang)
+	}
+	c := Comparison{Workload: tr.Name}
+	run := func(opt machine.Options) (machine.Result, error) {
+		m, err := machine.New(cfg)
+		if err != nil {
+			return machine.Result{}, err
+		}
+		return m.Run(tr, opt)
+	}
+	var err error
+	if c.Baseline, err = run(machine.Options{Stack: machine.Baseline}); err != nil {
+		return c, err
+	}
+	if c.Mallacc, err = run(machine.Options{Stack: machine.Baseline, MallaccIdeal: true}); err != nil {
+		return c, err
+	}
+	if c.Memento, err = run(machine.Options{Stack: machine.Memento}); err != nil {
+		return c, err
+	}
+	return c, nil
+}

@@ -1,0 +1,42 @@
+package mallacc
+
+import (
+	"testing"
+
+	"memento/internal/config"
+	"memento/internal/trace"
+	"memento/internal/workload"
+)
+
+func TestRejectsNonCpp(t *testing.T) {
+	p, _ := workload.ByName("html")
+	if _, err := Run(config.Default(), workload.Generate(p)); err == nil {
+		t.Fatal("python workload must be rejected")
+	}
+}
+
+func TestMementoBeatsIdealMallacc(t *testing.T) {
+	// Section 6.7's headline: even an idealized Mallacc trails Memento,
+	// because it cannot touch kernel memory management or memory traffic.
+	p, _ := workload.ByName("UM")
+	c, err := Run(config.Default(), workload.Generate(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := c.MallaccSpeedup()
+	if ms <= 1.0 {
+		t.Fatalf("ideal mallacc speedup = %.3f, must beat baseline", ms)
+	}
+	if c.MementoSpeedup() <= ms {
+		t.Fatalf("memento (%.3f) must beat ideal mallacc (%.3f)", c.MementoSpeedup(), ms)
+	}
+	// Mallacc leaves kernel cycles intact.
+	if c.Mallacc.Buckets.Kernel < c.Baseline.Buckets.Kernel*9/10 {
+		t.Fatal("mallacc must not reduce kernel MM")
+	}
+	// Mallacc leaves DRAM traffic essentially intact.
+	if c.Mallacc.DRAM.TotalBytes() < c.Baseline.DRAM.TotalBytes()*8/10 {
+		t.Fatal("mallacc must not meaningfully reduce memory traffic")
+	}
+	_ = trace.Cpp
+}

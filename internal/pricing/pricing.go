@@ -1,0 +1,64 @@
+// Package pricing implements the serverless billing model of Section 6.5:
+// AWS Lambda prices function execution at millisecond granularity for
+// duration and MB granularity for memory, plus a fixed per-invocation fee
+// for the platform infrastructure.
+package pricing
+
+import "math"
+
+// Model is a Lambda-style price sheet.
+type Model struct {
+	// USDPerGBSecond is the duration x memory rate.
+	USDPerGBSecond float64
+	// USDPerInvocation is the fixed per-request fee.
+	USDPerInvocation float64
+	// MinMemoryMB is the smallest billable memory configuration.
+	MinMemoryMB float64
+	// ClockGHz converts cycles to seconds.
+	ClockGHz float64
+}
+
+// AWS returns the AWS Lambda price sheet the paper uses ([4]): x86,
+// $0.0000166667 per GB-second and $0.20 per million requests, 128 MB
+// minimum memory.
+func AWS(clockGHz float64) Model {
+	return Model{
+		USDPerGBSecond:   0.0000166667,
+		USDPerInvocation: 0.20 / 1e6,
+		MinMemoryMB:      128,
+		ClockGHz:         clockGHz,
+	}
+}
+
+// DurationMS converts a cycle count to billable (ceiled) milliseconds.
+func (m Model) DurationMS(cycles uint64) float64 {
+	ms := float64(cycles) / (m.ClockGHz * 1e9) * 1e3
+	return math.Ceil(ms)
+}
+
+// BillableMB rounds memory up to whole MB with the configured floor.
+func (m Model) BillableMB(bytes uint64) float64 {
+	mb := math.Ceil(float64(bytes) / (1 << 20))
+	if mb < m.MinMemoryMB {
+		mb = m.MinMemoryMB
+	}
+	return mb
+}
+
+// RuntimeUSD prices one invocation's execution (duration x memory), the
+// quantity Fig 14 normalizes. Memory is billed at its measured usage
+// granularity (the paper computes cost "in the granularity of milliseconds
+// for runtime and MB for consumed memory"), without the allocation floor.
+func (m Model) RuntimeUSD(cycles uint64, memBytes uint64) float64 {
+	gb := math.Ceil(float64(memBytes)/(1<<20)) / 1024
+	if gb <= 0 {
+		gb = 1.0 / 1024
+	}
+	return m.DurationMS(cycles) / 1e3 * gb * m.USDPerGBSecond
+}
+
+// EndToEndUSD adds the fixed per-invocation fee (the cost component
+// "outside the function costs" in Section 6.5).
+func (m Model) EndToEndUSD(cycles uint64, memBytes uint64) float64 {
+	return m.RuntimeUSD(cycles, memBytes) + m.USDPerInvocation
+}

@@ -1,0 +1,72 @@
+package pricing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDurationCeiling(t *testing.T) {
+	m := AWS(3.0)
+	// 3e6 cycles at 3 GHz = 1 ms exactly.
+	if got := m.DurationMS(3_000_000); got != 1 {
+		t.Fatalf("1ms run billed as %v ms", got)
+	}
+	// One cycle more rounds up to 2 ms.
+	if got := m.DurationMS(3_000_001); got != 2 {
+		t.Fatalf("1ms+1cy run billed as %v ms", got)
+	}
+	if got := m.DurationMS(1); got != 1 {
+		t.Fatalf("minimal run billed as %v ms", got)
+	}
+}
+
+func TestBillableMB(t *testing.T) {
+	m := AWS(3.0)
+	if got := m.BillableMB(1 << 20); got != 128 {
+		t.Fatalf("1MB floors to %v, want 128", got)
+	}
+	if got := m.BillableMB(200 << 20); got != 200 {
+		t.Fatalf("200MB bills as %v", got)
+	}
+	if got := m.BillableMB(200<<20 + 1); got != 201 {
+		t.Fatalf("200MB+1B bills as %v, want 201", got)
+	}
+}
+
+func TestRuntimeUSDScalesWithBoth(t *testing.T) {
+	m := AWS(3.0)
+	base := m.RuntimeUSD(30_000_000, 32<<20)
+	slower := m.RuntimeUSD(60_000_000, 32<<20)
+	bigger := m.RuntimeUSD(30_000_000, 64<<20)
+	if slower <= base || bigger <= base {
+		t.Fatalf("pricing must scale: base=%v slower=%v bigger=%v", base, slower, bigger)
+	}
+	// 2x duration doubles the runtime price exactly (10ms -> 20ms).
+	if math.Abs(slower-2*base) > 1e-12 {
+		t.Fatalf("2x duration: %v vs %v", slower, 2*base)
+	}
+}
+
+func TestEndToEndAddsInvocationFee(t *testing.T) {
+	m := AWS(3.0)
+	r := m.RuntimeUSD(3_000_000, 1<<20)
+	e := m.EndToEndUSD(3_000_000, 1<<20)
+	if math.Abs(e-r-m.USDPerInvocation) > 1e-15 {
+		t.Fatalf("fee not added: %v vs %v", e, r)
+	}
+}
+
+func TestRuntimeUSDMonotonic(t *testing.T) {
+	m := AWS(3.0)
+	f := func(a, b uint32) bool {
+		lo, hi := uint64(a), uint64(b)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return m.RuntimeUSD(lo+1, 8<<20) <= m.RuntimeUSD(hi+1, 8<<20)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

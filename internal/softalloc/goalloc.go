@@ -1,0 +1,268 @@
+package softalloc
+
+import (
+	"sort"
+
+	"memento/internal/config"
+	"memento/internal/kernel"
+)
+
+// GoAlloc parameters, modeled on the go-1.13 runtime the paper instruments:
+// the heap reserves large arenas from the OS (64 MiB on linux/amd64) and
+// carves them into 8 KiB spans; a per-P mcache serves size classes without
+// locks; garbage is collected by concurrent mark-sweep. For short serverless
+// functions the collector never runs (Fig 3's Golang lifetimes), so all
+// memory is batch-freed by the OS at exit; the long-running platform
+// operations do collect (Section 2.2).
+const (
+	goArenaBytes = 64 << 20
+	goSpanBytes  = 8 << 10
+	goMaxSmall   = 512 // Memento-relevant small classes; larger goes large path
+	goClassStep  = 8
+	goNumClasses = goMaxSmall / goClassStep
+)
+
+// goSpan is an 8 KiB span serving one size class.
+type goSpan struct {
+	base     uint64
+	class    int
+	objSize  uint64
+	capacity int
+	freeList []uint16
+	used     int
+}
+
+// goArena is one 64 MiB reservation carved into spans on demand.
+type goArena struct {
+	base     uint64
+	nextSpan uint64
+}
+
+// GoAlloc is the Go-runtime-style span allocator with mark-sweep GC.
+type GoAlloc struct {
+	env
+	arenas []*goArena
+	// mcache: spans with free slots per class (head is the active span).
+	mcache  [goNumClasses][]*goSpan
+	owner   map[uint64]*goSpan // object VA -> span
+	large   *LargeAlloc
+	stats   Stats
+	liveObj uint64
+}
+
+// NewGoAlloc creates the allocator.
+func NewGoAlloc(cfg config.Machine, k *kernel.Kernel, as *kernel.AddressSpace, mem VMem) *GoAlloc {
+	return &GoAlloc{
+		env:   env{cfg: cfg, k: k, as: as, mem: mem},
+		owner: make(map[uint64]*goSpan),
+		large: NewLargeAlloc(cfg, k, as, mem),
+	}
+}
+
+// Name implements Allocator.
+func (g *GoAlloc) Name() string { return "goalloc" }
+
+// Init reserves the first heap arena: a very large lazy mapping, which is
+// why MAP_POPULATE inflates Golang footprints 8.6x in §6.6.
+func (g *GoAlloc) Init() (uint64, error) {
+	cycles, err := g.grow()
+	if err != nil {
+		return cycles, err
+	}
+	cycles += g.instr(2000) // runtime mheap init
+	return cycles, nil
+}
+
+// grow maps one more 64 MiB arena.
+func (g *GoAlloc) grow() (uint64, error) {
+	va, cycles, err := g.k.Mmap(g.as, goArenaBytes, false)
+	if err != nil {
+		return cycles, ErrOutOfMemory
+	}
+	g.stats.ArenaMmaps++
+	g.arenas = append(g.arenas, &goArena{base: va})
+	return cycles, nil
+}
+
+// Stats implements Allocator.
+func (g *GoAlloc) Stats() Stats { return g.stats }
+
+// LiveObjects returns the number of live small objects (GC mark set size).
+func (g *GoAlloc) LiveObjects() uint64 { return g.liveObj }
+
+// Alloc implements Allocator: mcache span pop, plus object zeroing
+// (mallocgc zeroes memory, so a fresh object's lines are written here).
+func (g *GoAlloc) Alloc(size uint64) (uint64, uint64, error) {
+	g.stats.Allocs++
+	if size > goMaxSmall {
+		g.stats.LargeAllocs++
+		return g.large.Alloc(size)
+	}
+	cls, clsSize := sizeClassOf(size, goClassStep, goMaxSmall)
+	cycles := g.instr(24) // mallocgc fast path
+	span, c, err := g.spanFor(cls)
+	cycles += c
+	if err != nil {
+		return 0, cycles, err
+	}
+	idx := span.freeList[len(span.freeList)-1]
+	span.freeList = span.freeList[:len(span.freeList)-1]
+	span.used++
+	va := span.base + uint64(idx)*span.objSize
+	g.owner[va] = span
+	g.liveObj++
+	// Zero the object (mallocgc needzero): overlapped stores, so the
+	// serialized per-line latencies are divided by the store MLP.
+	var zero uint64
+	lines := uint64(0)
+	for off := uint64(0); off < clsSize; off += config.LineSize {
+		zero += g.mem.AccessVA(va+off, true)
+		lines++
+	}
+	mlp := lines
+	if mlp > 4 {
+		mlp = 4
+	}
+	cycles += zero / mlp
+	if len(span.freeList) == 0 {
+		g.popSpan(span)
+	}
+	g.stats.FastPathHits++
+	g.stats.UserMMCycles += cycles
+	return va, cycles, nil
+}
+
+// spanFor returns a span with a free slot, carving one from an arena on
+// demand (mcentral/mheap refill).
+func (g *GoAlloc) spanFor(cls int) (*goSpan, uint64, error) {
+	if ss := g.mcache[cls]; len(ss) > 0 {
+		return ss[len(ss)-1], 0, nil
+	}
+	g.stats.SlowPathRuns++
+	var cycles uint64
+	cycles += g.instr(g.cfg.Cost.UserSlowPathInstrs)
+	arena := g.arenas[len(g.arenas)-1]
+	if arena.nextSpan+goSpanBytes > goArenaBytes {
+		c, err := g.grow()
+		cycles += c
+		if err != nil {
+			return nil, cycles, err
+		}
+		arena = g.arenas[len(g.arenas)-1]
+	}
+	base := arena.base + arena.nextSpan
+	arena.nextSpan += goSpanBytes
+	objSize := uint64(cls+1) * goClassStep
+	span := &goSpan{base: base, class: cls, objSize: objSize, capacity: int(uint64(goSpanBytes) / objSize)}
+	for i := span.capacity - 1; i >= 0; i-- {
+		span.freeList = append(span.freeList, uint16(i))
+	}
+	cycles += g.mem.AccessVA(base, true) // span metadata init
+	g.mcache[cls] = append(g.mcache[cls], span)
+	return span, cycles, nil
+}
+
+func (g *GoAlloc) popSpan(span *goSpan) {
+	ss := g.mcache[span.class]
+	for i, s := range ss {
+		if s == span {
+			g.mcache[span.class] = append(ss[:i], ss[i+1:]...)
+			return
+		}
+	}
+}
+
+// Free implements Allocator. In the Go runtime individual objects are only
+// freed by the GC sweep, so this is the (cheap) sweep path; the mark cost is
+// charged separately via MarkCost at collection events.
+func (g *GoAlloc) Free(va uint64) (uint64, error) {
+	if g.large.Owns(va) {
+		g.stats.Frees++
+		return g.large.Free(va)
+	}
+	span, ok := g.owner[va]
+	if !ok {
+		return 0, ErrBadFree
+	}
+	g.stats.Frees++
+	idx := uint16((va - span.base) / span.objSize)
+	wasFull := len(span.freeList) == 0
+	span.freeList = append(span.freeList, idx)
+	span.used--
+	delete(g.owner, va)
+	g.liveObj--
+	cycles := g.instr(9) // sweep clears the mark bit
+	cycles += g.mem.AccessVA(span.base, true)
+	if wasFull {
+		g.mcache[span.class] = append(g.mcache[span.class], span)
+	}
+	g.stats.UserMMCycles += cycles
+	g.stats.GCCycles += cycles
+	return cycles, nil
+}
+
+// MarkCost charges one GC mark phase over the current live set: scanning
+// object graphs costs instructions plus a header access per live object.
+func (g *GoAlloc) MarkCost() uint64 {
+	var cycles uint64
+	cycles += g.instr(5000) // GC start/stop, root scan
+	perObj := g.instr(30)
+	cycles += perObj * g.liveObj
+	// Touch a sample of live object headers through the hierarchy (cap the
+	// modeled traffic at 4096 accesses; marking is memory-bound but the
+	// trace-driven model only needs its magnitude). Iterate in address
+	// order so runs stay deterministic.
+	vas := make([]uint64, 0, len(g.owner))
+	for va := range g.owner {
+		vas = append(vas, va)
+	}
+	sort.Slice(vas, func(i, j int) bool { return vas[i] < vas[j] })
+	if len(vas) > 4096 {
+		vas = vas[:4096]
+	}
+	for _, va := range vas {
+		cycles += g.mem.AccessVA(va, false)
+	}
+	g.stats.GCCycles += cycles
+	g.stats.GCCollections++
+	g.stats.UserMMCycles += cycles
+	return cycles
+}
+
+// SizeOf implements Allocator.
+func (g *GoAlloc) SizeOf(va uint64) (uint64, bool) {
+	if g.large.Owns(va) {
+		return g.large.SizeOf(va)
+	}
+	span, ok := g.owner[va]
+	if !ok {
+		return 0, false
+	}
+	return span.objSize, true
+}
+
+// Occupancy implements Allocator: live objects over carved span slots.
+// The owner map tracks objects, not spans, so the span set is rebuilt from
+// the owner map plus the mcache lists.
+func (g *GoAlloc) Occupancy() float64 {
+	var cap int
+	seen := map[*goSpan]bool{}
+	for _, span := range g.owner {
+		if !seen[span] {
+			seen[span] = true
+			cap += span.capacity
+		}
+	}
+	for _, spans := range g.mcache {
+		for _, span := range spans {
+			if !seen[span] {
+				seen[span] = true
+				cap += span.capacity
+			}
+		}
+	}
+	if cap == 0 {
+		return 0
+	}
+	return float64(g.liveObj) / float64(cap)
+}

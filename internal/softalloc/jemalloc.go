@@ -1,0 +1,289 @@
+package softalloc
+
+import (
+	"memento/internal/config"
+	"memento/internal/kernel"
+)
+
+// JEMalloc parameters. The C++ workloads in the paper link an instrumented
+// jemalloc; its two behaviours that drive the results are (i) a thread cache
+// that makes the fast path extremely short — hence the 96 % userspace MM
+// share of Table 2 — and (ii) an eagerly pre-mapped, pre-faulted pool that
+// keeps kernel costs away but wastes memory (Sections 6.1 and 6.3).
+const (
+	jeDefaultChunkBytes = 256 << 10
+	jeRunPages          = 4
+	jeRunBytes          = jeRunPages * config.PageSize
+	jeMaxSmall          = 512
+	jeClassStep         = 8
+	jeNumClasses        = jeMaxSmall / jeClassStep
+	jeDefaultTcache     = 16
+	jeDefaultPrealloc   = 4
+)
+
+// JEMallocOpts tunes the allocator (the §6.6 "tuning software allocators"
+// sensitivity study sweeps ChunkBytes).
+type JEMallocOpts struct {
+	// ChunkBytes is the arena chunk size mapped from the OS.
+	ChunkBytes uint64
+	// PreallocChunks are mapped and pre-faulted at Init.
+	PreallocChunks int
+	// TcacheSize bounds the per-class thread cache.
+	TcacheSize int
+}
+
+// DefaultJEMallocOpts returns the paper-calibrated defaults.
+func DefaultJEMallocOpts() JEMallocOpts {
+	return JEMallocOpts{ChunkBytes: jeDefaultChunkBytes, PreallocChunks: jeDefaultPrealloc, TcacheSize: jeDefaultTcache}
+}
+
+// jeRun is a 16 KiB slab serving one size class.
+type jeRun struct {
+	base     uint64
+	class    int
+	objSize  uint64
+	capacity int
+	freeList []uint16
+	used     int
+}
+
+// jeChunk is one mapped arena chunk carved into runs.
+type jeChunk struct {
+	base uint64
+	// nextRun is the bump offset of the next uncarved run.
+	nextRun uint64
+	size    uint64
+}
+
+// JEMalloc is the jemalloc-style slab allocator with a thread cache.
+type JEMalloc struct {
+	env
+	opts     JEMallocOpts
+	chunks   []*jeChunk
+	tcache   [jeNumClasses][]uint64
+	runs     [jeNumClasses][]*jeRun // runs with free slots per class
+	runByVA  map[uint64]*jeRun      // run base -> run
+	owner    map[uint64]*jeRun      // object VA -> run
+	inTcache map[uint64]struct{}    // objects parked in the thread cache
+	large    *LargeAlloc
+	stats    Stats
+	initDone bool
+}
+
+// NewJEMalloc creates the allocator.
+func NewJEMalloc(cfg config.Machine, k *kernel.Kernel, as *kernel.AddressSpace, mem VMem, opts JEMallocOpts) *JEMalloc {
+	if opts.ChunkBytes == 0 {
+		opts = DefaultJEMallocOpts()
+	}
+	return &JEMalloc{
+		env:      env{cfg: cfg, k: k, as: as, mem: mem},
+		opts:     opts,
+		runByVA:  make(map[uint64]*jeRun),
+		owner:    make(map[uint64]*jeRun),
+		inTcache: make(map[uint64]struct{}),
+		large:    NewLargeAlloc(cfg, k, as, mem),
+	}
+}
+
+// Name implements Allocator.
+func (j *JEMalloc) Name() string { return "jemalloc" }
+
+// Init pre-maps and pre-faults the chunk pool, the library-initialization
+// behaviour §6.1 describes.
+func (j *JEMalloc) Init() (uint64, error) {
+	var cycles uint64
+	for i := 0; i < j.opts.PreallocChunks; i++ {
+		va, c, err := j.k.Mmap(j.as, j.opts.ChunkBytes, true /* pre-fault */)
+		cycles += c
+		if err != nil {
+			return cycles, ErrOutOfMemory
+		}
+		j.stats.ArenaMmaps++
+		j.chunks = append(j.chunks, &jeChunk{base: va, size: j.opts.ChunkBytes})
+	}
+	cycles += j.instr(3000) // jemalloc bootstrap
+	j.initDone = true
+	return cycles, nil
+}
+
+// Stats implements Allocator.
+func (j *JEMalloc) Stats() Stats { return j.stats }
+
+// Alloc implements Allocator: tcache pop on the fast path, run refill on
+// miss, new run carve / chunk mmap on the slow path.
+func (j *JEMalloc) Alloc(size uint64) (uint64, uint64, error) {
+	j.stats.Allocs++
+	if size > jeMaxSmall {
+		j.stats.LargeAllocs++
+		return j.large.Alloc(size)
+	}
+	cls, _ := sizeClassOf(size, jeClassStep, jeMaxSmall)
+	// Fast path: thread cache.
+	if tc := j.tcache[cls]; len(tc) > 0 {
+		va := tc[len(tc)-1]
+		j.tcache[cls] = tc[:len(tc)-1]
+		delete(j.inTcache, va)
+		cycles := j.instr(18)
+		cycles += j.mem.AccessVA(va, false) // read cached object link
+		j.stats.FastPathHits++
+		j.stats.UserMMCycles += cycles
+		return va, cycles, nil
+	}
+	// Refill from a run.
+	cycles := j.instr(55)
+	run, c, err := j.runFor(cls)
+	cycles += c
+	if err != nil {
+		return 0, cycles, err
+	}
+	idx := run.freeList[len(run.freeList)-1]
+	run.freeList = run.freeList[:len(run.freeList)-1]
+	run.used++
+	va := run.base + uint64(idx)*run.objSize
+	j.owner[va] = run
+	cycles += j.mem.AccessVA(run.base, true) // run header/bitmap update
+	cycles += j.mem.AccessVA(va, false)
+	if len(run.freeList) == 0 {
+		j.removeRun(run)
+	}
+	j.stats.UserMMCycles += cycles
+	return va, cycles, nil
+}
+
+// runFor returns a run with space for cls, carving or mapping as needed.
+func (j *JEMalloc) runFor(cls int) (*jeRun, uint64, error) {
+	if rs := j.runs[cls]; len(rs) > 0 {
+		return rs[len(rs)-1], 0, nil
+	}
+	j.stats.SlowPathRuns++
+	var cycles uint64
+	cycles += j.instr(j.cfg.Cost.UserSlowPathInstrs)
+	// Carve a run from a chunk with room.
+	var chunk *jeChunk
+	for _, c := range j.chunks {
+		if c.nextRun+jeRunBytes <= c.size {
+			chunk = c
+			break
+		}
+	}
+	if chunk == nil {
+		va, c, err := j.k.Mmap(j.as, j.opts.ChunkBytes, false)
+		cycles += c
+		if err != nil {
+			return nil, cycles, ErrOutOfMemory
+		}
+		j.stats.ArenaMmaps++
+		chunk = &jeChunk{base: va, size: j.opts.ChunkBytes}
+		j.chunks = append(j.chunks, chunk)
+	}
+	base := chunk.base + chunk.nextRun
+	chunk.nextRun += jeRunBytes
+	objSize := uint64(cls+1) * jeClassStep
+	run := &jeRun{
+		base:     base,
+		class:    cls,
+		objSize:  objSize,
+		capacity: int(uint64(jeRunBytes) / objSize),
+	}
+	for i := run.capacity - 1; i >= 0; i-- {
+		run.freeList = append(run.freeList, uint16(i))
+	}
+	cycles += j.mem.AccessVA(base, true) // initialize run header
+	j.runByVA[base] = run
+	j.runs[cls] = append(j.runs[cls], run)
+	return run, cycles, nil
+}
+
+func (j *JEMalloc) removeRun(run *jeRun) {
+	rs := j.runs[run.class]
+	for i, r := range rs {
+		if r == run {
+			j.runs[run.class] = append(rs[:i], rs[i+1:]...)
+			return
+		}
+	}
+}
+
+// Free implements Allocator: push onto the thread cache; flush half the
+// cache back to runs when it overflows.
+func (j *JEMalloc) Free(va uint64) (uint64, error) {
+	if j.large.Owns(va) {
+		j.stats.Frees++
+		return j.large.Free(va)
+	}
+	run, ok := j.owner[va]
+	if !ok {
+		return 0, ErrBadFree
+	}
+	if _, dup := j.inTcache[va]; dup {
+		return 0, ErrBadFree
+	}
+	j.stats.Frees++
+	cls := run.class
+	cycles := j.instr(16)
+	cycles += j.mem.AccessVA(va, true) // write tcache link into the object
+	j.tcache[cls] = append(j.tcache[cls], va)
+	j.inTcache[va] = struct{}{}
+	if len(j.tcache[cls]) > j.opts.TcacheSize {
+		cycles += j.flushTcache(cls)
+	}
+	j.stats.UserMMCycles += cycles
+	return cycles, nil
+}
+
+// flushTcache returns the older half of the class's thread cache to runs.
+func (j *JEMalloc) flushTcache(cls int) uint64 {
+	tc := j.tcache[cls]
+	n := len(tc) / 2
+	var cycles uint64
+	cycles += j.instr(20) // flush loop setup
+	for _, va := range tc[:n] {
+		run := j.owner[va]
+		idx := uint16((va - run.base) / run.objSize)
+		wasFull := len(run.freeList) == 0
+		run.freeList = append(run.freeList, idx)
+		run.used--
+		delete(j.owner, va)
+		delete(j.inTcache, va)
+		cycles += j.instr(6)
+		cycles += j.mem.AccessVA(run.base, true)
+		if wasFull {
+			j.runs[cls] = append(j.runs[cls], run)
+		}
+		// jemalloc retains empty runs and chunks in its pool (no munmap),
+		// trading memory for speed — the utilization cost Fig 11 shows.
+	}
+	j.tcache[cls] = append(j.tcache[cls][:0], tc[n:]...)
+	return cycles
+}
+
+// SizeOf implements Allocator. Objects parked in the thread cache are still
+// "live" to the owner map until flushed, so look up the run directly.
+func (j *JEMalloc) SizeOf(va uint64) (uint64, bool) {
+	if j.large.Owns(va) {
+		return j.large.SizeOf(va)
+	}
+	run, ok := j.owner[va]
+	if !ok {
+		return 0, false
+	}
+	return run.objSize, true
+}
+
+// Occupancy implements Allocator: live objects (excluding thread-cached
+// ones) over the slots of carved runs.
+func (j *JEMalloc) Occupancy() float64 {
+	var used, cap int
+	for _, run := range j.runByVA {
+		used += run.used
+		cap += run.capacity
+	}
+	used -= len(j.inTcache)
+	if cap == 0 {
+		return 0
+	}
+	if used < 0 {
+		used = 0
+	}
+	return float64(used) / float64(cap)
+}

@@ -1,0 +1,173 @@
+package softalloc
+
+import (
+	"memento/internal/config"
+	"memento/internal/kernel"
+)
+
+// Large-path parameters: glibc serves requests above the small threshold
+// from its main heap with segregated bins, extending the heap in chunks;
+// only requests above MmapThreshold go to mmap directly (and back to
+// munmap on free).
+const (
+	// largeChunkBytes is the heap-extension granularity.
+	largeChunkBytes = 1 << 20
+	// MmapThreshold is glibc's default M_MMAP_THRESHOLD (128 KiB).
+	MmapThreshold = 128 << 10
+	// largeMinBlock is the smallest large-path block (everything <= 512
+	// goes to the small allocator).
+	largeMinBlock = 1024
+)
+
+// LargeAlloc models the glibc malloc path for requests above the
+// small-object threshold (Section 2.1: requests "larger than 512 bytes by
+// default are directly serviced by malloc in glibc, which eventually calls
+// mmap as well"): a brk-like heap with power-of-two bins, falling back to
+// per-request mmap above MmapThreshold.
+type LargeAlloc struct {
+	env
+	// bumpVA/endVA delimit unused heap space in the current chunk.
+	bumpVA, endVA uint64
+	// bins[o] holds free blocks of size 1<<o.
+	bins map[uint]([]uint64)
+	// blocks maps live VA -> rounded block size.
+	blocks map[uint64]uint64
+	// mmapped marks live direct-mmap blocks.
+	mmapped map[uint64]bool
+	stats   Stats
+}
+
+// NewLargeAlloc creates the large-object path.
+func NewLargeAlloc(cfg config.Machine, k *kernel.Kernel, as *kernel.AddressSpace, mem VMem) *LargeAlloc {
+	return &LargeAlloc{
+		env:     env{cfg: cfg, k: k, as: as, mem: mem},
+		bins:    make(map[uint][]uint64),
+		blocks:  make(map[uint64]uint64),
+		mmapped: make(map[uint64]bool),
+	}
+}
+
+// Name implements Allocator.
+func (l *LargeAlloc) Name() string { return "glibc-large" }
+
+// Init implements Allocator.
+func (l *LargeAlloc) Init() (uint64, error) { return 0, nil }
+
+// Stats implements Allocator.
+func (l *LargeAlloc) Stats() Stats { return l.stats }
+
+// binOf returns the power-of-two bin for a size.
+func binOf(size uint64) (order uint, block uint64) {
+	block = largeMinBlock
+	order = 10 // log2(1024)
+	for block < size {
+		block <<= 1
+		order++
+	}
+	return order, block
+}
+
+// Alloc implements Allocator.
+func (l *LargeAlloc) Alloc(size uint64) (uint64, uint64, error) {
+	l.stats.Allocs++
+	if size > MmapThreshold {
+		// Direct mmap, like glibc above the threshold.
+		length := (size + config.PageSize - 1) &^ uint64(config.PageSize-1)
+		va, cycles, err := l.k.Mmap(l.as, length, false)
+		if err != nil {
+			return 0, cycles, ErrOutOfMemory
+		}
+		l.stats.ArenaMmaps++
+		l.blocks[va] = length
+		l.mmapped[va] = true
+		cycles += l.instr(120)
+		l.stats.UserMMCycles += cycles
+		return va, cycles, nil
+	}
+	order, block := binOf(size)
+	cycles := l.instr(70) // bin selection, chunk bookkeeping
+	if free := l.bins[order]; len(free) > 0 {
+		va := free[len(free)-1]
+		l.bins[order] = free[:len(free)-1]
+		l.blocks[va] = block
+		cycles += l.mem.AccessVA(va, true) // chunk header
+		l.stats.FastPathHits++
+		l.stats.UserMMCycles += cycles
+		return va, cycles, nil
+	}
+	// Carve from the heap tail, extending it if needed.
+	if l.bumpVA+block > l.endVA {
+		chunk := uint64(largeChunkBytes)
+		if block > chunk {
+			chunk = (block + largeChunkBytes - 1) &^ uint64(largeChunkBytes-1)
+		}
+		va, mmapCycles, err := l.k.Mmap(l.as, chunk, false)
+		cycles += mmapCycles
+		if err != nil {
+			return 0, cycles, ErrOutOfMemory
+		}
+		l.stats.ArenaMmaps++
+		l.bumpVA, l.endVA = va, va+chunk
+	}
+	va := l.bumpVA
+	l.bumpVA += block
+	l.blocks[va] = block
+	cycles += l.mem.AccessVA(va, true) // write the chunk header
+	l.stats.UserMMCycles += cycles
+	return va, cycles, nil
+}
+
+// Free implements Allocator: heap blocks go back to their bin; direct-mmap
+// blocks are unmapped.
+func (l *LargeAlloc) Free(va uint64) (uint64, error) {
+	size, ok := l.blocks[va]
+	if !ok {
+		return 0, ErrBadFree
+	}
+	delete(l.blocks, va)
+	l.stats.Frees++
+	if l.mmapped[va] {
+		delete(l.mmapped, va)
+		cycles, err := l.k.Munmap(l.as, va, size)
+		if err != nil {
+			return cycles, err
+		}
+		l.stats.ArenaMunmaps++
+		l.stats.UserMMCycles += cycles
+		return cycles, nil
+	}
+	cycles := l.instr(55)
+	cycles += l.mem.AccessVA(va, false) // read the chunk header
+	order, _ := binOf(size)
+	l.bins[order] = append(l.bins[order], va)
+	l.stats.UserMMCycles += cycles
+	return cycles, nil
+}
+
+// Owns reports whether va is a live large block.
+func (l *LargeAlloc) Owns(va uint64) bool {
+	_, ok := l.blocks[va]
+	return ok
+}
+
+// SizeOf implements Allocator.
+func (l *LargeAlloc) SizeOf(va uint64) (uint64, bool) {
+	size, ok := l.blocks[va]
+	return size, ok
+}
+
+// Occupancy implements Allocator: live bytes over held heap bytes.
+func (l *LargeAlloc) Occupancy() float64 {
+	var live, held uint64
+	for _, size := range l.blocks {
+		live += size
+		held += size
+	}
+	for order, frees := range l.bins {
+		held += uint64(len(frees)) << order
+	}
+	if held == 0 {
+		return 0
+	}
+	return float64(live) / float64(held)
+}

@@ -1,0 +1,297 @@
+package softalloc
+
+import (
+	"memento/internal/config"
+	"memento/internal/kernel"
+)
+
+// PyMalloc parameters, matching CPython's obmalloc (Section 2.1):
+// 256 KiB arenas split into 4 KiB pools, 8-byte size-class granularity,
+// 512-byte small-object threshold.
+const (
+	pyArenaBytes   = 256 << 10
+	pyPoolBytes    = config.PageSize
+	pyPoolHeader   = 48
+	pyMaxSmall     = 512
+	pyClassStep    = 8
+	pyNumClasses   = pyMaxSmall / pyClassStep
+	pyPoolsPerAren = pyArenaBytes / pyPoolBytes
+)
+
+// pyPool is one 4 KiB pool serving a single size class.
+type pyPool struct {
+	base     uint64 // VA of the pool (header at base)
+	arena    *pyArena
+	class    int
+	objSize  uint64
+	capacity int
+	// freeList holds free object indices; the head lives in the pool header
+	// and links thread through the free objects themselves, which is what
+	// the modeled memory accesses touch.
+	freeList []uint16
+	// allocated tracks per-object state for double-free detection.
+	allocated []bool
+	// used counts live objects.
+	used int
+	// inUsedList marks membership of the per-class used-pool list.
+	inUsedList bool
+	// assigned is true once the pool has been bound to a size class.
+	assigned bool
+}
+
+// pyArena is a 256 KiB mmap'd region split into pools.
+type pyArena struct {
+	base      uint64
+	pools     []*pyPool
+	freePools int
+}
+
+// PyMalloc is the CPython-style small-object allocator.
+type PyMalloc struct {
+	env
+	usedPools [pyNumClasses][]*pyPool
+	freePools []*pyPool
+	arenas    []*pyArena
+	poolByVA  map[uint64]*pyPool
+	large     *LargeAlloc
+	stats     Stats
+}
+
+// NewPyMalloc creates the allocator for one process.
+func NewPyMalloc(cfg config.Machine, k *kernel.Kernel, as *kernel.AddressSpace, mem VMem) *PyMalloc {
+	return &PyMalloc{
+		env:      env{cfg: cfg, k: k, as: as, mem: mem},
+		poolByVA: make(map[uint64]*pyPool),
+		large:    NewLargeAlloc(cfg, k, as, mem),
+	}
+}
+
+// Name implements Allocator.
+func (p *PyMalloc) Name() string { return "pymalloc" }
+
+// Init implements Allocator; pymalloc sets up lazily, so this only charges
+// a token interpreter-startup allocator cost.
+func (p *PyMalloc) Init() (uint64, error) {
+	return p.instr(200), nil
+}
+
+// Stats implements Allocator.
+func (p *PyMalloc) Stats() Stats { return p.stats }
+
+// Alloc implements Allocator, following Fig 1: compute size class (1),
+// check per-class used pools (2), else grab a free pool (3), else mmap a
+// new arena (4).
+func (p *PyMalloc) Alloc(size uint64) (uint64, uint64, error) {
+	p.stats.Allocs++
+	if size > pyMaxSmall {
+		p.stats.LargeAllocs++
+		return p.large.Alloc(size)
+	}
+	cls, _ := sizeClassOf(size, pyClassStep, pyMaxSmall)
+	cycles := p.instr(p.cfg.Cost.UserAllocFastPathInstrs)
+
+	pool, c, err := p.poolFor(cls)
+	cycles += c
+	if err != nil {
+		return 0, cycles, err
+	}
+	// Pop the free-list head: read the pool header, read the free object's
+	// embedded next-link, write the header back.
+	idx := pool.freeList[len(pool.freeList)-1]
+	pool.freeList = pool.freeList[:len(pool.freeList)-1]
+	pool.allocated[idx] = true
+	pool.used++
+	va := pool.objectVA(int(idx))
+	cycles += p.mem.AccessVA(pool.base, false)
+	cycles += p.mem.AccessVA(va, false)
+	cycles += p.mem.AccessVA(pool.base, true)
+	if len(pool.freeList) == 0 {
+		// Pool is now full: unlink from the used list.
+		p.removeUsed(pool)
+		cycles += p.instr(12)
+	}
+	p.stats.FastPathHits++
+	p.stats.UserMMCycles += cycles
+	return va, cycles, nil
+}
+
+// objectVA returns the VA of object idx in the pool.
+func (pl *pyPool) objectVA(idx int) uint64 {
+	return pl.base + pyPoolHeader + uint64(idx)*pl.objSize
+}
+
+// poolFor returns a pool with at least one free object for the class,
+// refilling from the free-pool list or a fresh arena as needed.
+func (p *PyMalloc) poolFor(cls int) (*pyPool, uint64, error) {
+	var cycles uint64
+	if pools := p.usedPools[cls]; len(pools) > 0 {
+		return pools[len(pools)-1], 0, nil
+	}
+	p.stats.SlowPathRuns++
+	cycles += p.instr(p.cfg.Cost.UserSlowPathInstrs)
+	if len(p.freePools) == 0 {
+		c, err := p.newArena()
+		cycles += c
+		if err != nil {
+			return nil, cycles, err
+		}
+	}
+	pool := p.freePools[len(p.freePools)-1]
+	p.freePools = p.freePools[:len(p.freePools)-1]
+	pool.arena.freePools--
+	// Initialize the pool header for this class; the header write faults in
+	// the pool's first page on a fresh arena.
+	objSize := uint64(cls+1) * pyClassStep
+	pool.class = cls
+	pool.objSize = objSize
+	pool.capacity = (pyPoolBytes - pyPoolHeader) / int(objSize)
+	pool.freeList = pool.freeList[:0]
+	for i := pool.capacity - 1; i >= 0; i-- {
+		pool.freeList = append(pool.freeList, uint16(i))
+	}
+	pool.allocated = make([]bool, pool.capacity)
+	pool.used = 0
+	pool.assigned = true
+	cycles += p.mem.AccessVA(pool.base, true)
+	p.usedPools[cls] = append(p.usedPools[cls], pool)
+	pool.inUsedList = true
+	return pool, cycles, nil
+}
+
+// newArena mmaps a fresh 256 KiB arena and splits it into free pools.
+func (p *PyMalloc) newArena() (uint64, error) {
+	va, cycles, err := p.k.Mmap(p.as, pyArenaBytes, false)
+	if err != nil {
+		return cycles, ErrOutOfMemory
+	}
+	p.stats.ArenaMmaps++
+	a := &pyArena{base: va, freePools: pyPoolsPerAren}
+	for i := 0; i < pyPoolsPerAren; i++ {
+		pool := &pyPool{base: va + uint64(i)*pyPoolBytes, arena: a}
+		a.pools = append(a.pools, pool)
+		p.poolByVA[pool.base] = pool
+		p.freePools = append(p.freePools, pool)
+	}
+	p.arenas = append(p.arenas, a)
+	cycles += p.instr(120) // arena bookkeeping
+	return cycles, nil
+}
+
+// removeUsed unlinks a pool from its class's used list.
+func (p *PyMalloc) removeUsed(pool *pyPool) {
+	pools := p.usedPools[pool.class]
+	for i, q := range pools {
+		if q == pool {
+			p.usedPools[pool.class] = append(pools[:i], pools[i+1:]...)
+			break
+		}
+	}
+	pool.inUsedList = false
+}
+
+// Free implements Allocator, following Fig 1 step 5: align down to the pool,
+// push the object on the pool free list, return empty pools to the free
+// list, and munmap fully-free arenas.
+func (p *PyMalloc) Free(va uint64) (uint64, error) {
+	if p.large.Owns(va) {
+		p.stats.Frees++
+		return p.large.Free(va)
+	}
+	poolBase := va &^ uint64(pyPoolBytes-1)
+	pool, ok := p.poolByVA[poolBase]
+	if !ok || !pool.assigned {
+		return 0, ErrBadFree
+	}
+	idx := (va - poolBase - pyPoolHeader) / pool.objSize
+	if int(idx) >= pool.capacity || pool.objectVA(int(idx)) != va || !pool.allocated[idx] {
+		return 0, ErrBadFree
+	}
+	pool.allocated[idx] = false
+	p.stats.Frees++
+	cycles := p.instr(p.cfg.Cost.UserFreeFastPathInstrs)
+	// Link into the free list: write the object's next-link, update header.
+	cycles += p.mem.AccessVA(va, true)
+	cycles += p.mem.AccessVA(poolBase, true)
+
+	wasFull := len(pool.freeList) == 0
+	pool.freeList = append(pool.freeList, uint16(idx))
+	pool.used--
+	if wasFull {
+		p.usedPools[pool.class] = append(p.usedPools[pool.class], pool)
+		pool.inUsedList = true
+		cycles += p.instr(12)
+	}
+	if pool.used == 0 {
+		// Entirely free: return the pool to the free-pool list.
+		p.removeUsed(pool)
+		pool.assigned = false
+		p.freePools = append(p.freePools, pool)
+		pool.arena.freePools++
+		cycles += p.instr(30)
+		if pool.arena.freePools == pyPoolsPerAren {
+			c, err := p.releaseArena(pool.arena)
+			cycles += c
+			if err != nil {
+				return cycles, err
+			}
+		}
+	}
+	p.stats.UserMMCycles += cycles
+	return cycles, nil
+}
+
+// releaseArena munmaps a fully-free arena (Fig 1: "if all pools in an arena
+// become free, the allocator returns its memory by calling munmap").
+func (p *PyMalloc) releaseArena(a *pyArena) (uint64, error) {
+	cycles, err := p.k.Munmap(p.as, a.base, pyArenaBytes)
+	if err != nil {
+		return cycles, err
+	}
+	p.stats.ArenaMunmaps++
+	for _, pool := range a.pools {
+		delete(p.poolByVA, pool.base)
+		// Drop from the free-pool list.
+		for i, q := range p.freePools {
+			if q == pool {
+				p.freePools = append(p.freePools[:i], p.freePools[i+1:]...)
+				break
+			}
+		}
+	}
+	for i, ar := range p.arenas {
+		if ar == a {
+			p.arenas = append(p.arenas[:i], p.arenas[i+1:]...)
+			break
+		}
+	}
+	return cycles, nil
+}
+
+// SizeOf implements Allocator.
+func (p *PyMalloc) SizeOf(va uint64) (uint64, bool) {
+	if p.large.Owns(va) {
+		return p.large.SizeOf(va)
+	}
+	poolBase := va &^ uint64(pyPoolBytes-1)
+	pool, ok := p.poolByVA[poolBase]
+	if !ok || !pool.assigned {
+		return 0, false
+	}
+	return pool.objSize, true
+}
+
+// Occupancy implements Allocator: live objects over slots of assigned pools.
+func (p *PyMalloc) Occupancy() float64 {
+	var used, cap int
+	for _, pool := range p.poolByVA {
+		if !pool.assigned {
+			continue
+		}
+		used += pool.used
+		cap += pool.capacity
+	}
+	if cap == 0 {
+		return 0
+	}
+	return float64(used) / float64(cap)
+}

@@ -1,0 +1,453 @@
+package softalloc
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"memento/internal/cache"
+	"memento/internal/config"
+	"memento/internal/dram"
+	"memento/internal/kernel"
+)
+
+// testVMem backs allocator metadata accesses with the real kernel walk plus
+// the cache hierarchy, like the machine does (minus TLB caching).
+type testVMem struct {
+	h  *cache.Hierarchy
+	as *kernel.AddressSpace
+}
+
+func (v *testVMem) AccessVA(va uint64, write bool) uint64 {
+	pfn, cycles, ok := v.as.Walk(va >> config.PageShift)
+	if !ok {
+		panic(fmt.Sprintf("testVMem: unmapped VA %#x", va))
+	}
+	return cycles + v.h.Access(pfn<<config.PageShift|va&(config.PageSize-1), write)
+}
+
+type fixture struct {
+	cfg config.Machine
+	k   *kernel.Kernel
+	as  *kernel.AddressSpace
+	mem *testVMem
+	h   *cache.Hierarchy
+}
+
+func newFixture() *fixture {
+	cfg := config.Default()
+	h := cache.NewHierarchy(cfg, dram.New(cfg.DRAM))
+	k := kernel.New(cfg, h)
+	as := k.NewAddressSpace()
+	return &fixture{cfg: cfg, k: k, as: as, mem: &testVMem{h: h, as: as}, h: h}
+}
+
+func (f *fixture) allocators() []Allocator {
+	return []Allocator{
+		NewPyMalloc(f.cfg, f.k, f.as, f.mem),
+		NewJEMalloc(f.cfg, f.k, f.as, f.mem, DefaultJEMallocOpts()),
+		NewGoAlloc(f.cfg, f.k, f.as, f.mem),
+	}
+}
+
+// TestAllocatorConformance runs the shared behavioural contract over all
+// three baselines.
+func TestAllocatorConformance(t *testing.T) {
+	for _, name := range []string{"pymalloc", "jemalloc", "goalloc"} {
+		t.Run(name, func(t *testing.T) {
+			f := newFixture()
+			var a Allocator
+			for _, cand := range f.allocators() {
+				if cand.Name() == name {
+					a = cand
+				}
+			}
+			if _, err := a.Init(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Alloc returns distinct, size-honouring blocks.
+			seen := map[uint64]bool{}
+			vas := make([]uint64, 0, 100)
+			for i := 0; i < 100; i++ {
+				size := uint64(8 + (i%8)*24)
+				va, cycles, err := a.Alloc(size)
+				if err != nil {
+					t.Fatalf("alloc %d: %v", i, err)
+				}
+				if cycles == 0 {
+					t.Fatal("alloc must cost cycles")
+				}
+				if seen[va] {
+					t.Fatalf("duplicate allocation at %#x", va)
+				}
+				seen[va] = true
+				got, ok := a.SizeOf(va)
+				if !ok || got < size {
+					t.Fatalf("SizeOf(%#x) = %d,%v want >= %d", va, got, ok, size)
+				}
+				vas = append(vas, va)
+			}
+
+			// Free succeeds once, fails twice.
+			if _, err := a.Free(vas[0]); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := a.Free(vas[0]); err == nil {
+				t.Fatal("double free must error")
+			}
+			// Free of garbage errors.
+			if _, err := a.Free(0xdeadbeef); err == nil {
+				t.Fatal("bad free must error")
+			}
+
+			// Large allocations work and are page-granular.
+			va, _, err := a.Alloc(4000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s, ok := a.SizeOf(va); !ok || s < 4000 {
+				t.Fatalf("large SizeOf = %d,%v", s, ok)
+			}
+			if _, err := a.Free(va); err != nil {
+				t.Fatal(err)
+			}
+
+			st := a.Stats()
+			if st.Allocs != 101 || st.Frees != 2 {
+				t.Fatalf("stats allocs=%d frees=%d", st.Allocs, st.Frees)
+			}
+		})
+	}
+}
+
+// TestNoOverlapProperty: live blocks from any allocator never overlap.
+func TestNoOverlapProperty(t *testing.T) {
+	for _, name := range []string{"pymalloc", "jemalloc", "goalloc"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			f := func(seed int64) bool {
+				fx := newFixture()
+				var a Allocator
+				for _, cand := range fx.allocators() {
+					if cand.Name() == name {
+						a = cand
+					}
+				}
+				a.Init()
+				rng := rand.New(rand.NewSource(seed))
+				type blk struct{ va, size uint64 }
+				var live []blk
+				for i := 0; i < 300; i++ {
+					if rng.Intn(3) > 0 || len(live) == 0 {
+						size := uint64(1 + rng.Intn(512))
+						va, _, err := a.Alloc(size)
+						if err != nil {
+							return false
+						}
+						s, _ := a.SizeOf(va)
+						live = append(live, blk{va, s})
+					} else {
+						i := rng.Intn(len(live))
+						if _, err := a.Free(live[i].va); err != nil {
+							return false
+						}
+						live = append(live[:i], live[i+1:]...)
+					}
+				}
+				sort.Slice(live, func(i, j int) bool { return live[i].va < live[j].va })
+				for i := 1; i < len(live); i++ {
+					if live[i-1].va+live[i-1].size > live[i].va {
+						return false
+					}
+				}
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 5}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestPyMallocPoolReuse(t *testing.T) {
+	f := newFixture()
+	p := NewPyMalloc(f.cfg, f.k, f.as, f.mem)
+	p.Init()
+	// Keep one object live so the arena is not released between operations.
+	anchor, _, _ := p.Alloc(64)
+	va1, _, _ := p.Alloc(64)
+	p.Free(va1)
+	va2, _, _ := p.Alloc(64)
+	if va1 != va2 {
+		t.Fatalf("LIFO free-list should return the same block: %#x vs %#x", va1, va2)
+	}
+	if anchor == va1 {
+		t.Fatal("anchor and reused block must differ")
+	}
+}
+
+func TestPyMallocArenaLifecycle(t *testing.T) {
+	f := newFixture()
+	p := NewPyMalloc(f.cfg, f.k, f.as, f.mem)
+	p.Init()
+	va, _, err := p.Alloc(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Stats().ArenaMmaps != 1 {
+		t.Fatalf("arena mmaps = %d, want 1", p.Stats().ArenaMmaps)
+	}
+	if _, err := p.Free(va); err != nil {
+		t.Fatal(err)
+	}
+	// Last object freed -> pool free -> arena fully free -> munmap.
+	if p.Stats().ArenaMunmaps != 1 {
+		t.Fatalf("arena munmaps = %d, want 1 (arena should be released)", p.Stats().ArenaMunmaps)
+	}
+}
+
+func TestPyMallocDifferentClassesDifferentPools(t *testing.T) {
+	f := newFixture()
+	p := NewPyMalloc(f.cfg, f.k, f.as, f.mem)
+	p.Init()
+	va1, _, _ := p.Alloc(8)
+	va2, _, _ := p.Alloc(512)
+	pool1 := va1 &^ uint64(pyPoolBytes-1)
+	pool2 := va2 &^ uint64(pyPoolBytes-1)
+	if pool1 == pool2 {
+		t.Fatal("different size classes must use different pools")
+	}
+}
+
+func TestPyMallocSizeClassRounding(t *testing.T) {
+	f := newFixture()
+	p := NewPyMalloc(f.cfg, f.k, f.as, f.mem)
+	p.Init()
+	va, _, _ := p.Alloc(9)
+	if s, _ := p.SizeOf(va); s != 16 {
+		t.Fatalf("size 9 should round to class 16, got %d", s)
+	}
+}
+
+func TestJEMallocPreFaultsPool(t *testing.T) {
+	f := newFixture()
+	j := NewJEMalloc(f.cfg, f.k, f.as, f.mem, DefaultJEMallocOpts())
+	if _, err := j.Init(); err != nil {
+		t.Fatal(err)
+	}
+	wantPages := uint64(jeDefaultPrealloc * jeDefaultChunkBytes / config.PageSize)
+	if got := f.k.Stats().UserPagesAllocated; got != wantPages {
+		t.Fatalf("pre-faulted pages = %d, want %d", got, wantPages)
+	}
+	if f.k.Stats().PageFaults != 0 {
+		t.Fatal("pre-faulting must not be counted as demand faults")
+	}
+}
+
+func TestJEMallocTcacheFastPath(t *testing.T) {
+	f := newFixture()
+	j := NewJEMalloc(f.cfg, f.k, f.as, f.mem, DefaultJEMallocOpts())
+	j.Init()
+	va, _, _ := j.Alloc(64)
+	j.Free(va)
+	va2, cycles, _ := j.Alloc(64)
+	if va2 != va {
+		t.Fatalf("tcache should return the just-freed block: %#x vs %#x", va2, va)
+	}
+	// Fast path: a handful of instructions + one metadata access.
+	if cycles > 100 {
+		t.Fatalf("tcache hit cost %d cycles; expected a short fast path", cycles)
+	}
+	if j.Stats().FastPathHits == 0 {
+		t.Fatal("tcache hit not counted")
+	}
+}
+
+func TestJEMallocTcacheFlush(t *testing.T) {
+	f := newFixture()
+	opts := DefaultJEMallocOpts()
+	opts.TcacheSize = 4
+	j := NewJEMalloc(f.cfg, f.k, f.as, f.mem, opts)
+	j.Init()
+	vas := make([]uint64, 10)
+	for i := range vas {
+		vas[i], _, _ = j.Alloc(32)
+	}
+	for _, va := range vas {
+		if _, err := j.Free(va); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(j.tcache[3]) > opts.TcacheSize {
+		t.Fatalf("tcache grew to %d, bound is %d", len(j.tcache[3]), opts.TcacheSize)
+	}
+}
+
+func TestJEMallocKernelShareIsSmall(t *testing.T) {
+	// The defining C++ behaviour (Table 2: 96% user / 4% kernel): after
+	// init, a steady alloc/free loop should almost never enter the kernel.
+	f := newFixture()
+	j := NewJEMalloc(f.cfg, f.k, f.as, f.mem, DefaultJEMallocOpts())
+	j.Init()
+	kernelBefore := f.k.Stats().KernelMMCycles()
+	for i := 0; i < 5000; i++ {
+		va, _, err := j.Alloc(uint64(8 + (i%16)*8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := j.Free(va); err != nil {
+			t.Fatal(err)
+		}
+	}
+	kernelDelta := f.k.Stats().KernelMMCycles() - kernelBefore
+	user := j.Stats().UserMMCycles
+	if kernelDelta*10 > user {
+		t.Fatalf("steady-state kernel share too high: kernel=%d user=%d", kernelDelta, user)
+	}
+}
+
+func TestGoAllocZeroesObjects(t *testing.T) {
+	f := newFixture()
+	g := NewGoAlloc(f.cfg, f.k, f.as, f.mem)
+	g.Init()
+	// A 512-byte object spans 8 lines; zeroing costs at least 8 accesses.
+	_, bigCycles, _ := g.Alloc(512)
+	f2 := newFixture()
+	g2 := NewGoAlloc(f2.cfg, f2.k, f2.as, f2.mem)
+	g2.Init()
+	_, smallCycles, _ := g2.Alloc(8)
+	if bigCycles <= smallCycles {
+		t.Fatalf("zeroing should make 512B (%d cy) cost more than 8B (%d cy)", bigCycles, smallCycles)
+	}
+}
+
+func TestGoAllocLiveObjectsAndGC(t *testing.T) {
+	f := newFixture()
+	g := NewGoAlloc(f.cfg, f.k, f.as, f.mem)
+	g.Init()
+	vas := make([]uint64, 50)
+	for i := range vas {
+		vas[i], _, _ = g.Alloc(48)
+	}
+	if g.LiveObjects() != 50 {
+		t.Fatalf("live = %d, want 50", g.LiveObjects())
+	}
+	mark := g.MarkCost()
+	if mark == 0 {
+		t.Fatal("mark must cost cycles")
+	}
+	for _, va := range vas {
+		if _, err := g.Free(va); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if g.LiveObjects() != 0 {
+		t.Fatalf("live = %d after sweep", g.LiveObjects())
+	}
+	st := g.Stats()
+	if st.GCCollections != 1 || st.GCCycles == 0 {
+		t.Fatalf("GC stats: %+v", st)
+	}
+}
+
+func TestGoAllocReservesLargeArena(t *testing.T) {
+	f := newFixture()
+	g := NewGoAlloc(f.cfg, f.k, f.as, f.mem)
+	g.Init()
+	// 64 MiB reserved lazily: VMA covers it, pages not resident.
+	if f.as.ResidentPages() > 4 {
+		t.Fatalf("lazy arena should not be resident: %d pages", f.as.ResidentPages())
+	}
+	if !f.as.CoveredVPN(g.arenas[0].base >> config.PageShift) {
+		t.Fatal("arena VA not covered by a VMA")
+	}
+}
+
+func TestLargeAllocBinReuse(t *testing.T) {
+	f := newFixture()
+	l := NewLargeAlloc(f.cfg, f.k, f.as, f.mem)
+	va, _, _ := l.Alloc(8192)
+	l.Free(va)
+	va2, cycles, _ := l.Alloc(8192)
+	if va2 != va {
+		t.Fatal("freed large block should be reused from its bin")
+	}
+	if cycles > 1000 {
+		t.Fatalf("binned large alloc cost %d cycles, should skip mmap", cycles)
+	}
+}
+
+func TestLargeAllocBinsArePowersOfTwo(t *testing.T) {
+	f := newFixture()
+	l := NewLargeAlloc(f.cfg, f.k, f.as, f.mem)
+	va, _, _ := l.Alloc(5000)
+	if s, _ := l.SizeOf(va); s != 8192 {
+		t.Fatalf("size = %d, want 8192 (pow2 bin)", s)
+	}
+}
+
+func TestLargeAllocHeapAvoidsSyscallsOnReuse(t *testing.T) {
+	// The defining behaviour: a steady large-alloc/free loop must stop
+	// entering the kernel once the heap is grown.
+	f := newFixture()
+	l := NewLargeAlloc(f.cfg, f.k, f.as, f.mem)
+	va, _, _ := l.Alloc(4096)
+	l.Free(va)
+	mmaps := f.k.Stats().Mmaps
+	for i := 0; i < 100; i++ {
+		va, _, err := l.Alloc(4096)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := l.Free(va); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if f.k.Stats().Mmaps != mmaps {
+		t.Fatal("steady-state large reuse must not mmap")
+	}
+}
+
+func TestLargeAllocDirectMmapAboveThreshold(t *testing.T) {
+	f := newFixture()
+	l := NewLargeAlloc(f.cfg, f.k, f.as, f.mem)
+	va, _, err := l.Alloc(MmapThreshold + 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	munmaps := f.k.Stats().Munmaps
+	if _, err := l.Free(va); err != nil {
+		t.Fatal(err)
+	}
+	if f.k.Stats().Munmaps != munmaps+1 {
+		t.Fatal("above-threshold blocks must be munmapped on free")
+	}
+}
+
+func TestSizeClassOf(t *testing.T) {
+	cases := []struct {
+		size uint64
+		cls  int
+		sz   uint64
+	}{
+		{1, 0, 8}, {8, 0, 8}, {9, 1, 16}, {511, 63, 512}, {512, 63, 512}, {0, 0, 8},
+	}
+	for _, c := range cases {
+		cls, sz := sizeClassOf(c.size, 8, 512)
+		if cls != c.cls || sz != c.sz {
+			t.Errorf("sizeClassOf(%d) = %d,%d want %d,%d", c.size, cls, sz, c.cls, c.sz)
+		}
+	}
+}
+
+func TestSizeClassOfPanicsBeyondMax(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	sizeClassOf(513, 8, 512)
+}

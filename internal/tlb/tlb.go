@@ -1,0 +1,195 @@
+// Package tlb models the two-level TLB of Table 3 (L1: 64-entry 4-way,
+// L2: 2048-entry 12-way) and the interface to a page walker. Address
+// translation is on the critical path of both the baseline page-fault flow
+// (Section 2.1) and Memento's first-touch arena backing (Section 3.2), so
+// the reproduction models it explicitly.
+package tlb
+
+import (
+	"memento/internal/config"
+)
+
+// entry is a cached VPN -> PFN translation.
+type entry struct {
+	vpn   uint64
+	pfn   uint64
+	valid bool
+	lru   uint64
+}
+
+// TLB is one set-associative translation cache level.
+type TLB struct {
+	sets         [][]entry
+	setMask      uint64
+	tick         uint64
+	hits, misses uint64
+	lat          uint64
+}
+
+// New builds one TLB level. Entry count is rounded down to a whole number of
+// sets; configurations whose entries do not divide by ways (e.g. 2048/12)
+// keep the full associativity with fewer sets, like real sliced designs.
+func New(cfg config.TLBConfig) *TLB {
+	sets := cfg.Entries / cfg.Ways
+	if sets < 1 {
+		sets = 1
+	}
+	// Round down to a power of two for cheap indexing.
+	for sets&(sets-1) != 0 {
+		sets--
+	}
+	t := &TLB{sets: make([][]entry, sets), setMask: uint64(sets - 1), lat: cfg.LatencyCycles}
+	for i := range t.sets {
+		t.sets[i] = make([]entry, cfg.Ways)
+	}
+	return t
+}
+
+// Latency returns the lookup latency in cycles.
+func (t *TLB) Latency() uint64 { return t.lat }
+
+// setOf computes the set index with XOR folding, as real TLBs do to break
+// up power-of-two strides (e.g. Memento's size-class stripes, which are a
+// constant number of pages apart and would otherwise alias one set).
+func (t *TLB) setOf(vpn uint64) uint64 {
+	return (vpn ^ vpn>>7 ^ vpn>>14) & t.setMask
+}
+
+// Lookup returns the PFN for vpn if cached.
+func (t *TLB) Lookup(vpn uint64) (pfn uint64, ok bool) {
+	set := t.setOf(vpn)
+	for i := range t.sets[set] {
+		e := &t.sets[set][i]
+		if e.valid && e.vpn == vpn {
+			t.tick++
+			e.lru = t.tick
+			t.hits++
+			return e.pfn, true
+		}
+	}
+	t.misses++
+	return 0, false
+}
+
+// Insert caches a translation, evicting LRU if needed.
+func (t *TLB) Insert(vpn, pfn uint64) {
+	set := t.setOf(vpn)
+	ways := t.sets[set]
+	t.tick++
+	vi, lru := 0, ^uint64(0)
+	for i := range ways {
+		if ways[i].valid && ways[i].vpn == vpn {
+			ways[i].pfn = pfn
+			ways[i].lru = t.tick
+			return
+		}
+		if !ways[i].valid {
+			vi, lru = i, 0
+			continue
+		}
+		if ways[i].lru < lru {
+			vi, lru = i, ways[i].lru
+		}
+	}
+	ways[vi] = entry{vpn: vpn, pfn: pfn, valid: true, lru: t.tick}
+}
+
+// InvalidatePage drops the translation for vpn (a shootdown of one page).
+func (t *TLB) InvalidatePage(vpn uint64) {
+	set := t.setOf(vpn)
+	for i := range t.sets[set] {
+		if t.sets[set][i].valid && t.sets[set][i].vpn == vpn {
+			t.sets[set][i] = entry{}
+		}
+	}
+}
+
+// Flush clears all translations (context switch without ASIDs).
+func (t *TLB) Flush() {
+	for s := range t.sets {
+		for w := range t.sets[s] {
+			t.sets[s][w] = entry{}
+		}
+	}
+}
+
+// Hits and Misses expose raw counters.
+func (t *TLB) Hits() uint64   { return t.hits }
+func (t *TLB) Misses() uint64 { return t.misses }
+
+// Walker produces translations on TLB misses. The kernel's page tables and
+// Memento's hardware page allocator each implement it; the MMU picks the
+// walker by comparing the address against the MRS/MRE region registers.
+type Walker interface {
+	// Walk translates vpn, returning the PFN and the walk latency in
+	// cycles (including any fault handling or hardware page allocation the
+	// walk triggered). ok is false if the address is unmapped and cannot be
+	// mapped (a true segfault).
+	Walk(vpn uint64) (pfn uint64, cycles uint64, ok bool)
+}
+
+// Stats summarizes a System's translation activity.
+type Stats struct {
+	L1Hits, L1Misses uint64
+	L2Hits, L2Misses uint64
+	Walks            uint64
+	WalkCycles       uint64
+	Shootdowns       uint64
+}
+
+// System is the two-level TLB plus walker glue for one core.
+type System struct {
+	L1, L2 *TLB
+	stats  Stats
+}
+
+// NewSystem builds the Table 3 TLB pair.
+func NewSystem(m config.Machine) *System {
+	return &System{L1: New(m.TLB1), L2: New(m.TLB2)}
+}
+
+// Translate resolves vpn via L1 -> L2 -> walker, returning the PFN, the
+// translation latency, and whether the address is mapped. The L1 lookup is
+// overlapped with the cache access, so an L1 hit costs its configured
+// latency (0 by default).
+func (s *System) Translate(vpn uint64, w Walker) (pfn uint64, cycles uint64, ok bool) {
+	cycles = s.L1.Latency()
+	if pfn, ok = s.L1.Lookup(vpn); ok {
+		s.stats.L1Hits++
+		return pfn, cycles, true
+	}
+	s.stats.L1Misses++
+	cycles += s.L2.Latency()
+	if pfn, ok = s.L2.Lookup(vpn); ok {
+		s.stats.L2Hits++
+		s.L1.Insert(vpn, pfn)
+		return pfn, cycles, true
+	}
+	s.stats.L2Misses++
+	pfn, walkCycles, ok := w.Walk(vpn)
+	s.stats.Walks++
+	s.stats.WalkCycles += walkCycles
+	cycles += walkCycles
+	if !ok {
+		return 0, cycles, false
+	}
+	s.L2.Insert(vpn, pfn)
+	s.L1.Insert(vpn, pfn)
+	return pfn, cycles, true
+}
+
+// Shootdown invalidates one page in both levels and counts the event.
+func (s *System) Shootdown(vpn uint64) {
+	s.L1.InvalidatePage(vpn)
+	s.L2.InvalidatePage(vpn)
+	s.stats.Shootdowns++
+}
+
+// FlushAll clears both levels (full context switch).
+func (s *System) FlushAll() {
+	s.L1.Flush()
+	s.L2.Flush()
+}
+
+// Stats returns a copy of the counters.
+func (s *System) Stats() Stats { return s.stats }

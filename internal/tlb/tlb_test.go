@@ -1,0 +1,217 @@
+package tlb
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"memento/internal/config"
+)
+
+type fixedWalker struct {
+	cycles uint64
+	fail   bool
+	walks  int
+}
+
+func (w *fixedWalker) Walk(vpn uint64) (uint64, uint64, bool) {
+	w.walks++
+	if w.fail {
+		return 0, w.cycles, false
+	}
+	return vpn + 1000, w.cycles, true
+}
+
+func TestTLBInsertLookup(t *testing.T) {
+	tl := New(config.TLBConfig{Name: "t", Entries: 64, Ways: 4, LatencyCycles: 0})
+	if _, ok := tl.Lookup(5); ok {
+		t.Fatal("empty TLB should miss")
+	}
+	tl.Insert(5, 99)
+	pfn, ok := tl.Lookup(5)
+	if !ok || pfn != 99 {
+		t.Fatalf("lookup = %d,%v want 99,true", pfn, ok)
+	}
+}
+
+func TestTLBUpdateExisting(t *testing.T) {
+	tl := New(config.TLBConfig{Name: "t", Entries: 16, Ways: 4})
+	tl.Insert(5, 1)
+	tl.Insert(5, 2)
+	pfn, _ := tl.Lookup(5)
+	if pfn != 2 {
+		t.Fatalf("pfn = %d, want updated value 2", pfn)
+	}
+}
+
+func TestTLBEvictionLRU(t *testing.T) {
+	// 1 set, 2 ways.
+	tl := New(config.TLBConfig{Name: "t", Entries: 2, Ways: 2})
+	tl.Insert(1, 10)
+	tl.Insert(2, 20)
+	tl.Lookup(1) // 1 becomes MRU
+	tl.Insert(3, 30)
+	if _, ok := tl.Lookup(2); ok {
+		t.Fatal("LRU entry 2 should have been evicted")
+	}
+	if _, ok := tl.Lookup(1); !ok {
+		t.Fatal("MRU entry 1 should survive")
+	}
+}
+
+func TestTLBInvalidatePage(t *testing.T) {
+	tl := New(config.TLBConfig{Name: "t", Entries: 16, Ways: 4})
+	tl.Insert(7, 70)
+	tl.InvalidatePage(7)
+	if _, ok := tl.Lookup(7); ok {
+		t.Fatal("invalidated entry should miss")
+	}
+}
+
+func TestTLBFlush(t *testing.T) {
+	tl := New(config.TLBConfig{Name: "t", Entries: 16, Ways: 4})
+	for v := uint64(0); v < 10; v++ {
+		tl.Insert(v, v)
+	}
+	tl.Flush()
+	for v := uint64(0); v < 10; v++ {
+		if _, ok := tl.Lookup(v); ok {
+			t.Fatalf("entry %d survived flush", v)
+		}
+	}
+}
+
+func TestNonPowerOfTwoWays(t *testing.T) {
+	// Table 3's L2 TLB: 2048 entries, 12-way -> 170 sets, rounded to 128.
+	tl := New(config.TLBConfig{Name: "l2", Entries: 2048, Ways: 12})
+	for v := uint64(0); v < 500; v++ {
+		tl.Insert(v, v*2)
+	}
+	hits := 0
+	for v := uint64(0); v < 500; v++ {
+		if pfn, ok := tl.Lookup(v); ok {
+			if pfn != v*2 {
+				t.Fatalf("wrong pfn for %d: %d", v, pfn)
+			}
+			hits++
+		}
+	}
+	if hits < 400 {
+		t.Fatalf("only %d/500 recent entries retained; capacity handling broken", hits)
+	}
+}
+
+func TestSystemTranslateHitPath(t *testing.T) {
+	s := NewSystem(config.Default())
+	w := &fixedWalker{cycles: 100}
+	_, c1, ok := s.Translate(42, w)
+	if !ok || w.walks != 1 {
+		t.Fatalf("first translate should walk: ok=%v walks=%d", ok, w.walks)
+	}
+	if c1 < 100 {
+		t.Fatalf("miss latency %d should include walk cycles", c1)
+	}
+	pfn, c2, ok := s.Translate(42, w)
+	if !ok || pfn != 1042 || w.walks != 1 {
+		t.Fatalf("second translate should hit L1: pfn=%d walks=%d", pfn, w.walks)
+	}
+	if c2 != 0 {
+		t.Fatalf("L1 TLB hit latency = %d, want 0 (overlapped)", c2)
+	}
+}
+
+func TestSystemL2Refill(t *testing.T) {
+	s := NewSystem(config.Default())
+	w := &fixedWalker{cycles: 100}
+	// Fill far more than L1 capacity (64) so early entries fall to L2 only.
+	for v := uint64(0); v < 512; v++ {
+		s.Translate(v, w)
+	}
+	walksBefore := w.walks
+	_, cycles, ok := s.Translate(0, w)
+	if !ok {
+		t.Fatal("translation failed")
+	}
+	if w.walks != walksBefore {
+		t.Fatal("entry 0 should still be in the 2048-entry L2 TLB")
+	}
+	if cycles != s.L2.Latency() {
+		t.Fatalf("L2 hit latency = %d, want %d", cycles, s.L2.Latency())
+	}
+}
+
+func TestSystemUnmapped(t *testing.T) {
+	s := NewSystem(config.Default())
+	w := &fixedWalker{cycles: 50, fail: true}
+	_, _, ok := s.Translate(9, w)
+	if ok {
+		t.Fatal("unmapped address must fail")
+	}
+	// Failure must not be cached.
+	_, _, _ = s.Translate(9, w)
+	if w.walks != 2 {
+		t.Fatalf("walks = %d, want 2 (failures not cached)", w.walks)
+	}
+}
+
+func TestSystemShootdown(t *testing.T) {
+	s := NewSystem(config.Default())
+	w := &fixedWalker{cycles: 10}
+	s.Translate(4, w)
+	s.Shootdown(4)
+	s.Translate(4, w)
+	if w.walks != 2 {
+		t.Fatalf("walks = %d, want 2 after shootdown", w.walks)
+	}
+	if s.Stats().Shootdowns != 1 {
+		t.Fatalf("shootdowns = %d, want 1", s.Stats().Shootdowns)
+	}
+}
+
+func TestSystemFlushAll(t *testing.T) {
+	s := NewSystem(config.Default())
+	w := &fixedWalker{cycles: 10}
+	s.Translate(1, w)
+	s.Translate(2, w)
+	s.FlushAll()
+	s.Translate(1, w)
+	if w.walks != 3 {
+		t.Fatalf("walks = %d, want 3 after full flush", w.walks)
+	}
+}
+
+// Property: Lookup after Insert always returns the inserted PFN.
+func TestTLBInsertLookupProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tl := New(config.TLBConfig{Name: "p", Entries: 64, Ways: 4})
+		for i := 0; i < 200; i++ {
+			vpn := uint64(rng.Intn(1 << 20))
+			pfn := uint64(rng.Intn(1 << 20))
+			tl.Insert(vpn, pfn)
+			got, ok := tl.Lookup(vpn)
+			if !ok || got != pfn {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: translations returned by the System always match the walker's
+// mapping function, regardless of hit level.
+func TestSystemCoherenceProperty(t *testing.T) {
+	s := NewSystem(config.Default())
+	w := &fixedWalker{cycles: 10}
+	f := func(v uint16) bool {
+		vpn := uint64(v)
+		pfn, _, ok := s.Translate(vpn, w)
+		return ok && pfn == vpn+1000
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,172 @@
+// Package trace defines the memory-management event model the simulator
+// executes. A trace is the reproduction's stand-in for the instrumented
+// allocator traces the paper collects from real workloads (Section 2.2):
+// it captures exactly the events whose costs Memento changes — allocations,
+// frees, first/subsequent touches, GC activity — plus abstract application
+// compute that anchors the memory-management share of total cycles.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Language identifies the runtime whose allocator the trace exercises.
+type Language int
+
+const (
+	// Python uses the pymalloc baseline.
+	Python Language = iota
+	// Cpp uses the jemalloc baseline.
+	Cpp
+	// Golang uses the Go-runtime baseline with mark-sweep GC.
+	Golang
+)
+
+// String implements fmt.Stringer.
+func (l Language) String() string {
+	switch l {
+	case Python:
+		return "python"
+	case Cpp:
+		return "c++"
+	case Golang:
+		return "golang"
+	default:
+		return fmt.Sprintf("language(%d)", int(l))
+	}
+}
+
+// Kind enumerates trace events.
+type Kind int
+
+const (
+	// KindAlloc allocates Size bytes as object Obj.
+	KindAlloc Kind = iota
+	// KindFree frees object Obj.
+	KindFree
+	// KindTouch accesses Bytes bytes of object Obj (Write selects the
+	// access type); the first touch of fresh memory is where page faults
+	// (baseline) or flagged walks + bypass (Memento) happen.
+	KindTouch
+	// KindCompute charges Cycles of non-MM application work.
+	KindCompute
+	// KindGC runs a garbage collection (Golang): a mark over the live set;
+	// the generator emits the dead objects' KindFree events right after.
+	KindGC
+	// KindContextSwitch models a scheduler switch (HOT flush + TLB flush).
+	KindContextSwitch
+)
+
+// Event is one timestamped step of a workload.
+type Event struct {
+	Kind  Kind   `json:"k"`
+	Obj   int    `json:"o,omitempty"`
+	Size  uint64 `json:"s,omitempty"`
+	Bytes uint64 `json:"b,omitempty"`
+	Write bool   `json:"w,omitempty"`
+	// Cycles is the compute amount for KindCompute.
+	Cycles uint64 `json:"c,omitempty"`
+}
+
+// Trace is a full workload recording.
+type Trace struct {
+	// Name is the benchmark name (e.g. "dh", "Redis").
+	Name string `json:"name"`
+	// Lang selects the baseline allocator.
+	Lang Language `json:"lang"`
+	// Events is the ordered event stream.
+	Events []Event `json:"events"`
+	// Objects is the number of distinct object ids used.
+	Objects int `json:"objects"`
+	// ColdStartCycles is the container setup cost prepended on cold starts.
+	ColdStartCycles uint64 `json:"coldStartCycles,omitempty"`
+	// RPCCalls counts backend RPCs at function entry/exit.
+	RPCCalls int `json:"rpcCalls,omitempty"`
+	// AppBufBytes is the application's working buffer (inputs,
+	// intermediate data) mapped at start; KindCompute events stream over
+	// it, generating the non-MM memory traffic real applications have.
+	AppBufBytes uint64 `json:"appBufBytes,omitempty"`
+	// ComputeAPK is the application's memory accesses per kilocycle of
+	// compute, driving traffic over the working buffer.
+	ComputeAPK int `json:"computeAPK,omitempty"`
+}
+
+// Validate checks structural invariants: objects allocated before use,
+// no double frees, ids in range.
+func (t *Trace) Validate() error {
+	state := make([]int8, t.Objects) // 0 unborn, 1 live, 2 freed
+	for i, e := range t.Events {
+		switch e.Kind {
+		case KindAlloc:
+			if e.Obj < 0 || e.Obj >= t.Objects {
+				return fmt.Errorf("trace %s: event %d: object %d out of range", t.Name, i, e.Obj)
+			}
+			if state[e.Obj] != 0 {
+				return fmt.Errorf("trace %s: event %d: object %d allocated twice", t.Name, i, e.Obj)
+			}
+			if e.Size == 0 {
+				return fmt.Errorf("trace %s: event %d: zero-size alloc", t.Name, i)
+			}
+			state[e.Obj] = 1
+		case KindFree:
+			if e.Obj < 0 || e.Obj >= t.Objects || state[e.Obj] != 1 {
+				return fmt.Errorf("trace %s: event %d: free of non-live object %d", t.Name, i, e.Obj)
+			}
+			state[e.Obj] = 2
+		case KindTouch:
+			if e.Obj < 0 || e.Obj >= t.Objects || state[e.Obj] != 1 {
+				return fmt.Errorf("trace %s: event %d: touch of non-live object %d", t.Name, i, e.Obj)
+			}
+		case KindCompute, KindGC, KindContextSwitch:
+		default:
+			return fmt.Errorf("trace %s: event %d: unknown kind %d", t.Name, i, e.Kind)
+		}
+	}
+	return nil
+}
+
+// Stats summarizes a trace for the characterization experiments.
+type Stats struct {
+	Allocs, Frees, Touches uint64
+	ComputeCycles          uint64
+	BytesAllocated         uint64
+}
+
+// Summarize computes aggregate counts.
+func (t *Trace) Summarize() Stats {
+	var s Stats
+	for _, e := range t.Events {
+		switch e.Kind {
+		case KindAlloc:
+			s.Allocs++
+			s.BytesAllocated += e.Size
+		case KindFree:
+			s.Frees++
+		case KindTouch:
+			s.Touches++
+		case KindCompute:
+			s.ComputeCycles += e.Cycles
+		}
+	}
+	return s
+}
+
+// Encode writes the trace as JSON.
+func (t *Trace) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(t)
+}
+
+// Decode reads a JSON trace.
+func Decode(r io.Reader) (*Trace, error) {
+	var t Trace
+	if err := json.NewDecoder(r).Decode(&t); err != nil {
+		return nil, err
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}

@@ -1,0 +1,118 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+func valid() *Trace {
+	return &Trace{
+		Name:    "t",
+		Lang:    Python,
+		Objects: 2,
+		Events: []Event{
+			{Kind: KindAlloc, Obj: 0, Size: 16},
+			{Kind: KindTouch, Obj: 0, Bytes: 16, Write: true},
+			{Kind: KindCompute, Cycles: 100},
+			{Kind: KindAlloc, Obj: 1, Size: 600},
+			{Kind: KindFree, Obj: 0},
+			{Kind: KindGC},
+			{Kind: KindContextSwitch},
+		},
+	}
+}
+
+func TestValidateAccepts(t *testing.T) {
+	if err := valid().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Trace)
+	}{
+		{"double alloc", func(tr *Trace) {
+			tr.Events = append(tr.Events, Event{Kind: KindAlloc, Obj: 0, Size: 8})
+		}},
+		{"double free", func(tr *Trace) {
+			tr.Events = append(tr.Events, Event{Kind: KindFree, Obj: 0})
+		}},
+		{"free unborn", func(tr *Trace) {
+			tr.Objects = 3
+			tr.Events = append(tr.Events, Event{Kind: KindFree, Obj: 2})
+		}},
+		{"touch freed", func(tr *Trace) {
+			tr.Events = append(tr.Events, Event{Kind: KindTouch, Obj: 0, Bytes: 8})
+		}},
+		{"obj out of range", func(tr *Trace) {
+			tr.Events = append(tr.Events, Event{Kind: KindAlloc, Obj: 99, Size: 8})
+		}},
+		{"zero size", func(tr *Trace) {
+			tr.Objects = 3
+			tr.Events = append(tr.Events, Event{Kind: KindAlloc, Obj: 2, Size: 0})
+		}},
+		{"bad kind", func(tr *Trace) {
+			tr.Events = append(tr.Events, Event{Kind: Kind(42)})
+		}},
+	}
+	for _, c := range cases {
+		tr := valid()
+		c.mutate(tr)
+		if err := tr.Validate(); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := valid().Summarize()
+	if s.Allocs != 2 || s.Frees != 1 || s.Touches != 1 {
+		t.Fatalf("summary %+v", s)
+	}
+	if s.ComputeCycles != 100 {
+		t.Fatalf("compute = %d", s.ComputeCycles)
+	}
+	if s.BytesAllocated != 616 {
+		t.Fatalf("bytes = %d", s.BytesAllocated)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	orig := valid()
+	if err := orig.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != orig.Name || got.Lang != orig.Lang || len(got.Events) != len(orig.Events) {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	for i := range got.Events {
+		if got.Events[i] != orig.Events[i] {
+			t.Fatalf("event %d mismatch: %+v vs %+v", i, got.Events[i], orig.Events[i])
+		}
+	}
+}
+
+func TestDecodeRejectsInvalid(t *testing.T) {
+	bad := &Trace{Name: "b", Objects: 1, Events: []Event{{Kind: KindFree, Obj: 0}}}
+	var buf bytes.Buffer
+	bad.Encode(&buf)
+	if _, err := Decode(&buf); err == nil {
+		t.Fatal("Decode must validate")
+	}
+}
+
+func TestLanguageString(t *testing.T) {
+	if Python.String() != "python" || Cpp.String() != "c++" || Golang.String() != "golang" {
+		t.Fatal("language strings wrong")
+	}
+	if Language(9).String() == "" {
+		t.Fatal("unknown language should still print")
+	}
+}

@@ -1,0 +1,229 @@
+package workload
+
+import (
+	"math/rand"
+	"sort"
+
+	"memento/internal/trace"
+)
+
+// pendingFree is a scheduled death: the object dies when its size class's
+// allocation counter reaches due (the malloc-free distance is defined in
+// same-size-class allocations, Section 2.2).
+type pendingFree struct {
+	due uint64
+	obj int
+}
+
+// Generate builds the deterministic event trace for a profile.
+func Generate(p Profile) *trace.Trace { return generate(p, false) }
+
+// GenerateEphemeralAware builds the trace for the Section 4 future-work
+// extension: an enhanced GC that uses Memento's exposed allocation
+// semantics to distinguish ephemeral objects and proactively free them
+// through obj-free as soon as they die, instead of batching every death
+// into the next collection. Only meaningful for Golang profiles with a
+// GCPeriod; other profiles generate identically.
+func GenerateEphemeralAware(p Profile) *trace.Trace { return generate(p, true) }
+
+func generate(p Profile, ephemeralAware bool) *trace.Trace {
+	rng := rand.New(rand.NewSource(p.Seed))
+	tr := &trace.Trace{
+		Name:            p.Name,
+		Lang:            p.Lang,
+		ColdStartCycles: p.ColdStartCycles,
+		RPCCalls:        p.RPCCalls,
+		AppBufBytes:     uint64(p.AppBufKB) << 10,
+		ComputeAPK:      p.ComputeAPK,
+	}
+	events := make([]trace.Event, 0, p.Allocs*5)
+
+	// Per-size-class allocation counters and pending deaths, keyed by the
+	// 8-byte-rounded class (the paper's lifetime metric counts allocations
+	// "of the same size class").
+	classCount := make(map[uint64]uint64)
+	pending := make(map[uint64][]pendingFree)
+	// Large allocations are too sparse for per-class counters (every size
+	// is its own class); their deaths are scheduled on the global
+	// allocation counter instead.
+	var pendingLarge []pendingFree
+	// gcDead accumulates dead-but-uncollected objects for Golang GC.
+	var gcDead []int
+	var live []int
+	liveIdx := make(map[int]int)
+
+	nextObj := 0
+	newObj := func() int {
+		o := nextObj
+		nextObj++
+		return o
+	}
+	addLive := func(o int) {
+		liveIdx[o] = len(live)
+		live = append(live, o)
+	}
+	dropLive := func(o int) {
+		i := liveIdx[o]
+		last := len(live) - 1
+		live[i] = live[last]
+		liveIdx[live[i]] = i
+		live = live[:last]
+		delete(liveIdx, o)
+	}
+
+	usesGC := p.Lang == trace.Golang
+	// ephemeral marks objects the enhanced GC of the Section 4 extension
+	// recognizes as ephemeral: their deaths are freed promptly via
+	// obj-free instead of waiting for the next collection.
+	ephemeral := make(map[int]bool)
+	sizePicker := newSizePicker(p, rng)
+
+	for i := 0; i < p.Allocs; i++ {
+		size := sizePicker.pick()
+		cls := (size + 7) / 8
+		classCount[cls]++
+		cnt := classCount[cls]
+
+		emitDead := func(dead int) {
+			switch {
+			case usesGC && ephemeralAware && ephemeral[dead]:
+				// Extension: the enhanced GC frees dead ephemeral objects
+				// proactively through obj-free.
+				events = append(events, trace.Event{Kind: trace.KindFree, Obj: dead})
+			case usesGC:
+				// Golang: the object is dead but only the GC reclaims it.
+				gcDead = append(gcDead, dead)
+			default:
+				events = append(events, trace.Event{Kind: trace.KindFree, Obj: dead})
+			}
+			dropLive(dead)
+		}
+
+		// Emit frees that have come due for this class.
+		due := pending[cls]
+		sort.Slice(due, func(a, b int) bool { return due[a].due < due[b].due })
+		for len(due) > 0 && due[0].due <= cnt {
+			emitDead(due[0].obj)
+			due = due[1:]
+		}
+		pending[cls] = due
+		// And the large-object deaths due by global allocation count.
+		sort.Slice(pendingLarge, func(a, b int) bool { return pendingLarge[a].due < pendingLarge[b].due })
+		for len(pendingLarge) > 0 && pendingLarge[0].due <= uint64(i) {
+			emitDead(pendingLarge[0].obj)
+			pendingLarge = pendingLarge[1:]
+		}
+
+		obj := newObj()
+		events = append(events, trace.Event{Kind: trace.KindAlloc, Obj: obj, Size: size})
+		addLive(obj)
+
+		// First-use write of the new object.
+		touch := uint64(float64(size) * p.TouchFraction)
+		if touch == 0 {
+			touch = 1
+		}
+		events = append(events, trace.Event{Kind: trace.KindTouch, Obj: obj, Bytes: touch, Write: true})
+
+		// Schedule the death. Small objects die after a per-class distance
+		// (the Fig 3 metric); large objects after a global distance.
+		schedule := func(d uint64) {
+			if size > 512 {
+				pendingLarge = append(pendingLarge, pendingFree{due: uint64(i) + d, obj: obj})
+			} else {
+				pending[cls] = append(pending[cls], pendingFree{due: cnt + d, obj: obj})
+			}
+		}
+		r := rng.Float64()
+		switch {
+		case r < p.ShortFrac:
+			ephemeral[obj] = true
+			schedule(uint64(1 + rng.Intn(16)))
+		case r < p.ShortFrac+p.MidFrac:
+			ephemeral[obj] = true
+			schedule(uint64(17 + rng.Intn(240)))
+		case r < p.ShortFrac+p.MidFrac+p.LateFrac:
+			// Explicitly freed long-lived objects (interpreter globals):
+			// they die thousands of allocations later — measured on the
+			// global counter so the distance is reached regardless of how
+			// thinly the class is populated — and miss the HOT on free
+			// (Section 6.4).
+			d := uint64(4096 + rng.Intn(16384))
+			pendingLarge = append(pendingLarge, pendingFree{due: uint64(i) + d, obj: obj})
+		default:
+			// Never freed: reclaimed at exit (functions) or at a GC.
+		}
+
+		// Locality: occasionally re-read a random live object.
+		if rng.Float64() < p.RetouchProb && len(live) > 0 {
+			o := live[rng.Intn(len(live))]
+			events = append(events, trace.Event{Kind: trace.KindTouch, Obj: o, Write: false})
+		}
+
+		// Application work between allocations (+-50% jitter).
+		if p.ComputePerAlloc > 0 {
+			c := p.ComputePerAlloc/2 + uint64(rng.Int63n(int64(p.ComputePerAlloc)+1))
+			events = append(events, trace.Event{Kind: trace.KindCompute, Cycles: c})
+		}
+
+		// Periodic garbage collection for long-running Golang workloads.
+		if usesGC && p.GCPeriod > 0 && (i+1)%p.GCPeriod == 0 {
+			events = append(events, trace.Event{Kind: trace.KindGC})
+			for _, dead := range gcDead {
+				events = append(events, trace.Event{Kind: trace.KindFree, Obj: dead})
+			}
+			gcDead = gcDead[:0]
+		}
+	}
+
+	tr.Events = events
+	tr.Objects = nextObj
+	return tr
+}
+
+// sizePicker draws allocation sizes from the profile's mixture.
+type sizePicker struct {
+	p       Profile
+	rng     *rand.Rand
+	cum     []float64
+	totalWt float64
+}
+
+func newSizePicker(p Profile, rng *rand.Rand) *sizePicker {
+	sp := &sizePicker{p: p, rng: rng}
+	for _, sw := range p.SmallSizes {
+		sp.totalWt += sw.Weight
+		sp.cum = append(sp.cum, sp.totalWt)
+	}
+	return sp
+}
+
+func (sp *sizePicker) pick() uint64 {
+	if sp.rng.Float64() >= sp.p.SmallFrac {
+		// Large allocation, uniform in [LargeMin, LargeMax].
+		lo, hi := sp.p.LargeMin, sp.p.LargeMax
+		if hi <= lo {
+			return lo
+		}
+		return lo + uint64(sp.rng.Int63n(int64(hi-lo+1)))
+	}
+	r := sp.rng.Float64() * sp.totalWt
+	i := sort.SearchFloat64s(sp.cum, r)
+	if i >= len(sp.cum) {
+		i = len(sp.cum) - 1
+	}
+	base := sp.p.SmallSizes[i].Size
+	// Jitter +-25% around the bucket mean, clamped to (0, 512].
+	jit := int64(base) / 4
+	size := int64(base)
+	if jit > 0 {
+		size += sp.rng.Int63n(2*jit+1) - jit
+	}
+	if size < 1 {
+		size = 1
+	}
+	if size > 512 {
+		size = 512
+	}
+	return uint64(size)
+}

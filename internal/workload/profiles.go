@@ -1,0 +1,278 @@
+// Package workload generates the synthetic allocation traces that stand in
+// for the paper's benchmarks: SeBS and FunctionBench functions,
+// pyperformance memory benchmarks, DeathStarBench C++ services adapted to
+// functions, Golang ports, the OpenFaaS platform operations, and the four
+// long-running data-processing applications (Section 5).
+//
+// Each profile is parameterised with the paper's own characterization
+// (Section 2.2): allocation-size distributions (Fig 2: 93% <= 512 B),
+// bimodal malloc-free distances (Fig 3: 71% within 16 same-class
+// allocations), per-language lifetime behaviour (C++ short-lived, Python
+// mostly short-lived, Golang batch-freed), and working-set sizes that set
+// the user/kernel cycle split of Table 2. PaperSpeedup records the Fig 8
+// value for side-by-side reporting; it is never used by the simulation.
+package workload
+
+import (
+	"fmt"
+
+	"memento/internal/trace"
+)
+
+// Class groups workloads the way the paper's figures do.
+type Class int
+
+const (
+	// Function is a serverless function (the 16 func-avg workloads).
+	Function Class = iota
+	// DataProc is a long-running data-processing application.
+	DataProc
+	// Platform is an OpenFaaS serverless platform operation.
+	Platform
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case Function:
+		return "function"
+	case DataProc:
+		return "data-proc"
+	case Platform:
+		return "platform"
+	default:
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+}
+
+// SizeWeight is one small-size bucket of a profile's size distribution.
+type SizeWeight struct {
+	// Size in bytes (mean of the bucket; jittered within +-25%).
+	Size uint64
+	// Weight is the relative frequency.
+	Weight float64
+}
+
+// Profile fully describes one synthetic workload.
+type Profile struct {
+	Name  string
+	Suite string // origin: SeBS, FunctionBench, pyperformance, DeathStarBench, port, OpenFaaS, dataproc
+	Lang  trace.Language
+	Class Class
+
+	// Allocs is the number of allocation events.
+	Allocs int
+	// SmallFrac is the fraction of allocations <= 512 bytes (Fig 2).
+	SmallFrac float64
+	// SmallSizes is the distribution of small-allocation sizes.
+	SmallSizes []SizeWeight
+	// LargeMin/LargeMax bound the (uniform) large-allocation sizes.
+	LargeMin, LargeMax uint64
+
+	// ShortFrac is the fraction freed within 16 same-class allocations;
+	// MidFrac within 17..256; LateFrac within 257..4096 (explicitly freed
+	// long-lived objects — e.g. the CPython interpreter globals Section 6.4
+	// blames for Python's lower free hit rate); the remainder is never
+	// freed (reclaimed by the OS at exit, or by the GC for Golang) (Fig 3).
+	ShortFrac, MidFrac, LateFrac float64
+
+	// ComputePerAlloc is the mean non-MM application cycles between
+	// allocations; it anchors the memory-management share of execution.
+	ComputePerAlloc uint64
+	// AppBufKB sizes the application working buffer compute streams over.
+	AppBufKB int
+	// ComputeAPK is the application's memory accesses per kilocycle of
+	// compute (the non-MM memory-traffic intensity, Fig 10's denominator).
+	ComputeAPK int
+	// TouchFraction is the portion of each new object written on first use.
+	TouchFraction float64
+	// RetouchProb is the per-allocation probability of re-reading a random
+	// live object (cache locality of the live set).
+	RetouchProb float64
+	// GCPeriod is the allocation count between garbage collections
+	// (Golang long-running only; 0 disables GC, the short-function case).
+	GCPeriod int
+
+	// RPCCalls is the backend RPC count per invocation (functions fetch
+	// inputs and store results through Redis, Section 5).
+	RPCCalls int
+	// ColdStartCycles is the container setup cost for cold starts (§6.6).
+	ColdStartCycles uint64
+
+	// Seed makes the trace deterministic.
+	Seed int64
+
+	// PaperSpeedup is Fig 8's reported speedup (documentation only).
+	PaperSpeedup float64
+}
+
+// Size mixes per language family. Weights are relative.
+var (
+	pySizes = []SizeWeight{
+		{16, 10}, {24, 14}, {32, 16}, {48, 14}, {56, 18}, {64, 10}, {88, 7}, {112, 4}, {184, 3}, {256, 2}, {384, 1.4}, {496, 0.6},
+	}
+	cppSizes = []SizeWeight{
+		{8, 12}, {16, 20}, {24, 12}, {32, 16}, {48, 12}, {64, 12}, {96, 7}, {128, 4}, {192, 2.4}, {320, 1.6}, {448, 1},
+	}
+	goSizes = []SizeWeight{
+		{16, 16}, {32, 20}, {48, 14}, {64, 12}, {96, 12}, {128, 8}, {160, 6}, {224, 5}, {320, 4}, {416, 2}, {512, 1},
+	}
+	kvSizes = []SizeWeight{ // tiny-object key-value mix (McAllister et al. [37])
+		{16, 10}, {24, 16}, {40, 22}, {56, 18}, {72, 12}, {100, 10}, {160, 6}, {240, 3.6}, {400, 2.4},
+	}
+	pltfSizes = []SizeWeight{
+		{16, 14}, {32, 22}, {48, 16}, {64, 13}, {96, 12}, {128, 9}, {192, 6}, {288, 4}, {448, 4},
+	}
+)
+
+// defaultColdStart is the container setup cost on a cold start. The
+// miniature traces stand for functions ~100x larger, so the setup cost is
+// scaled the same way: 2.4M cycles here represents the ~80 ms crun setup
+// of a full-size function, keeping the cold/warm dilution of Section 6.6.
+const defaultColdStart = 2_400_000
+
+// Profiles returns the full benchmark table in the paper's presentation
+// order (Fig 8's x-axis).
+func Profiles() []Profile {
+	return []Profile{
+		// ---- Python functions (SeBS, FunctionBench, pyperformance) ----
+		{Name: "html", Suite: "SeBS", Lang: trace.Python, Class: Function,
+			Allocs: 36000, SmallFrac: 0.92, SmallSizes: pySizes, LargeMin: 600, LargeMax: 8192,
+			ShortFrac: 0.72, MidFrac: 0.04, LateFrac: 0.1, ComputePerAlloc: 120, AppBufKB: 3072, ComputeAPK: 2, TouchFraction: 1.0, RetouchProb: 0.15,
+			RPCCalls: 2, ColdStartCycles: defaultColdStart, Seed: 101, PaperSpeedup: 1.28},
+		{Name: "ir", Suite: "SeBS", Lang: trace.Python, Class: Function,
+			Allocs: 40000, SmallFrac: 0.90, SmallSizes: pySizes, LargeMin: 1024, LargeMax: 12288,
+			ShortFrac: 0.72, MidFrac: 0.05, LateFrac: 0.1, ComputePerAlloc: 330, AppBufKB: 4096, ComputeAPK: 2, TouchFraction: 0.6, RetouchProb: 0.45,
+			RPCCalls: 2, ColdStartCycles: defaultColdStart, Seed: 102, PaperSpeedup: 1.10},
+		{Name: "bfs", Suite: "SeBS", Lang: trace.Python, Class: Function,
+			Allocs: 34000, SmallFrac: 0.95, SmallSizes: pySizes, LargeMin: 600, LargeMax: 4096,
+			ShortFrac: 0.7, MidFrac: 0.06, LateFrac: 0.1, ComputePerAlloc: 430, AppBufKB: 3072, ComputeAPK: 2, TouchFraction: 0.9, RetouchProb: 0.5,
+			RPCCalls: 2, ColdStartCycles: defaultColdStart, Seed: 103, PaperSpeedup: 1.15},
+		{Name: "dna", Suite: "SeBS", Lang: trace.Python, Class: Function,
+			Allocs: 38000, SmallFrac: 0.89, SmallSizes: pySizes, LargeMin: 1024, LargeMax: 16384,
+			ShortFrac: 0.72, MidFrac: 0.05, LateFrac: 0.1, ComputePerAlloc: 260, AppBufKB: 4096, ComputeAPK: 2, TouchFraction: 0.8, RetouchProb: 0.3,
+			RPCCalls: 2, ColdStartCycles: defaultColdStart, Seed: 104, PaperSpeedup: 1.12},
+		{Name: "aes", Suite: "FunctionBench", Lang: trace.Python, Class: Function,
+			Allocs: 26000, SmallFrac: 0.97, SmallSizes: pySizes, LargeMin: 600, LargeMax: 2048,
+			ShortFrac: 0.86, MidFrac: 0.04, LateFrac: 0.06, ComputePerAlloc: 560, AppBufKB: 2048, ComputeAPK: 2, TouchFraction: 1.0, RetouchProb: 0.75,
+			RPCCalls: 2, ColdStartCycles: defaultColdStart, Seed: 105, PaperSpeedup: 1.10},
+		{Name: "fr", Suite: "FunctionBench", Lang: trace.Python, Class: Function,
+			Allocs: 30000, SmallFrac: 0.91, SmallSizes: pySizes, LargeMin: 1024, LargeMax: 12288,
+			ShortFrac: 0.72, MidFrac: 0.05, LateFrac: 0.12, ComputePerAlloc: 240, AppBufKB: 3072, ComputeAPK: 2, TouchFraction: 0.8, RetouchProb: 0.35,
+			RPCCalls: 2, ColdStartCycles: defaultColdStart, Seed: 106, PaperSpeedup: 1.14},
+		{Name: "jl", Suite: "pyperformance", Lang: trace.Python, Class: Function,
+			Allocs: 24000, SmallFrac: 0.97, SmallSizes: pySizes, LargeMin: 600, LargeMax: 1536,
+			ShortFrac: 0.88, MidFrac: 0.04, LateFrac: 0.05, ComputePerAlloc: 700, AppBufKB: 2048, ComputeAPK: 2, TouchFraction: 1.0, RetouchProb: 0.8,
+			RPCCalls: 2, ColdStartCycles: defaultColdStart, Seed: 107, PaperSpeedup: 1.08},
+		{Name: "jd", Suite: "pyperformance", Lang: trace.Python, Class: Function,
+			Allocs: 28000, SmallFrac: 0.93, SmallSizes: pySizes, LargeMin: 600, LargeMax: 8192,
+			ShortFrac: 0.76, MidFrac: 0.05, LateFrac: 0.1, ComputePerAlloc: 390, AppBufKB: 3072, ComputeAPK: 2, TouchFraction: 1.0, RetouchProb: 0.4,
+			RPCCalls: 2, ColdStartCycles: defaultColdStart, Seed: 108, PaperSpeedup: 1.13},
+		{Name: "mk", Suite: "pyperformance", Lang: trace.Python, Class: Function,
+			Allocs: 32000, SmallFrac: 0.92, SmallSizes: pySizes, LargeMin: 600, LargeMax: 16384,
+			ShortFrac: 0.71, MidFrac: 0.05, LateFrac: 0.12, ComputePerAlloc: 240, AppBufKB: 3072, ComputeAPK: 2, TouchFraction: 0.95, RetouchProb: 0.3,
+			RPCCalls: 2, ColdStartCycles: defaultColdStart, Seed: 109, PaperSpeedup: 1.16},
+		// ---- C++ functions (DeathStarBench adapted to function units) ----
+		{Name: "US", Suite: "DeathStarBench", Lang: trace.Cpp, Class: Function,
+			Allocs: 30000, SmallFrac: 0.95, SmallSizes: cppSizes, LargeMin: 600, LargeMax: 4096,
+			ShortFrac: 0.86, MidFrac: 0.08, LateFrac: 0.02, ComputePerAlloc: 230, AppBufKB: 3072, ComputeAPK: 2, TouchFraction: 1.0, RetouchProb: 0.5,
+			RPCCalls: 2, ColdStartCycles: defaultColdStart, Seed: 110, PaperSpeedup: 1.12},
+		{Name: "UM", Suite: "DeathStarBench", Lang: trace.Cpp, Class: Function,
+			Allocs: 34000, SmallFrac: 0.94, SmallSizes: cppSizes, LargeMin: 600, LargeMax: 8192,
+			ShortFrac: 0.85, MidFrac: 0.09, LateFrac: 0.02, ComputePerAlloc: 90, AppBufKB: 3072, ComputeAPK: 2, TouchFraction: 1.0, RetouchProb: 0.35,
+			RPCCalls: 2, ColdStartCycles: defaultColdStart, Seed: 111, PaperSpeedup: 1.16},
+		{Name: "CM", Suite: "DeathStarBench", Lang: trace.Cpp, Class: Function,
+			Allocs: 38000, SmallFrac: 0.93, SmallSizes: cppSizes, LargeMin: 600, LargeMax: 16384,
+			ShortFrac: 0.84, MidFrac: 0.08, LateFrac: 0.02, ComputePerAlloc: 40, AppBufKB: 3072, ComputeAPK: 2, TouchFraction: 1.0, RetouchProb: 0.25,
+			RPCCalls: 2, ColdStartCycles: defaultColdStart, Seed: 112, PaperSpeedup: 1.20},
+		{Name: "MI", Suite: "DeathStarBench", Lang: trace.Cpp, Class: Function,
+			Allocs: 30000, SmallFrac: 0.96, SmallSizes: cppSizes, LargeMin: 600, LargeMax: 2048,
+			ShortFrac: 0.88, MidFrac: 0.07, LateFrac: 0.02, ComputePerAlloc: 215, AppBufKB: 3072, ComputeAPK: 2, TouchFraction: 1.0, RetouchProb: 0.55,
+			RPCCalls: 2, ColdStartCycles: defaultColdStart, Seed: 113, PaperSpeedup: 1.14},
+		// ---- Golang ports of the Python functions ----
+		{Name: "html-go", Suite: "port", Lang: trace.Golang, Class: Function,
+			Allocs: 30000, SmallFrac: 0.96, SmallSizes: goSizes, LargeMin: 600, LargeMax: 8192,
+			ShortFrac: 0, MidFrac: 0, ComputePerAlloc: 450, AppBufKB: 3072, ComputeAPK: 2, TouchFraction: 1.0, RetouchProb: 0.2,
+			RPCCalls: 2, ColdStartCycles: defaultColdStart, Seed: 114, PaperSpeedup: 1.22},
+		{Name: "bfs-go", Suite: "port", Lang: trace.Golang, Class: Function,
+			Allocs: 28000, SmallFrac: 0.96, SmallSizes: goSizes, LargeMin: 600, LargeMax: 4096,
+			ShortFrac: 0, MidFrac: 0, ComputePerAlloc: 900, AppBufKB: 3072, ComputeAPK: 2, TouchFraction: 0.9, RetouchProb: 0.45,
+			RPCCalls: 2, ColdStartCycles: defaultColdStart, Seed: 115, PaperSpeedup: 1.17},
+		{Name: "aes-go", Suite: "port", Lang: trace.Golang, Class: Function,
+			Allocs: 24000, SmallFrac: 0.97, SmallSizes: goSizes, LargeMin: 600, LargeMax: 2048,
+			ShortFrac: 0, MidFrac: 0, ComputePerAlloc: 1500, AppBufKB: 2048, ComputeAPK: 2, TouchFraction: 1.0, RetouchProb: 0.7,
+			RPCCalls: 2, ColdStartCycles: defaultColdStart, Seed: 116, PaperSpeedup: 1.12},
+		// ---- Long-running data processing (C++) ----
+		{Name: "Redis", Suite: "dataproc", Lang: trace.Cpp, Class: DataProc,
+			Allocs: 60000, SmallFrac: 0.98, SmallSizes: kvSizes, LargeMin: 600, LargeMax: 4096,
+			ShortFrac: 0.93, MidFrac: 0.04, LateFrac: 0.01, ComputePerAlloc: 380, AppBufKB: 4096, ComputeAPK: 2, TouchFraction: 1.0, RetouchProb: 0.6,
+			Seed: 117, PaperSpeedup: 1.11},
+		{Name: "Memcached", Suite: "dataproc", Lang: trace.Cpp, Class: DataProc,
+			Allocs: 60000, SmallFrac: 0.98, SmallSizes: kvSizes, LargeMin: 600, LargeMax: 2048,
+			ShortFrac: 0.94, MidFrac: 0.03, LateFrac: 0.01, ComputePerAlloc: 560, AppBufKB: 4096, ComputeAPK: 2, TouchFraction: 1.0, RetouchProb: 0.65,
+			Seed: 118, PaperSpeedup: 1.065},
+		{Name: "Silo", Suite: "dataproc", Lang: trace.Cpp, Class: DataProc,
+			Allocs: 56000, SmallFrac: 0.97, SmallSizes: kvSizes, LargeMin: 600, LargeMax: 8192,
+			ShortFrac: 0.93, MidFrac: 0.04, LateFrac: 0.01, ComputePerAlloc: 470, AppBufKB: 4096, ComputeAPK: 2, TouchFraction: 0.9, RetouchProb: 0.5,
+			Seed: 119, PaperSpeedup: 1.075},
+		{Name: "SQLite3", Suite: "dataproc", Lang: trace.Cpp, Class: DataProc,
+			Allocs: 52000, SmallFrac: 0.97, SmallSizes: kvSizes, LargeMin: 600, LargeMax: 4096,
+			ShortFrac: 0.95, MidFrac: 0.03, LateFrac: 0.01, ComputePerAlloc: 700, AppBufKB: 4096, ComputeAPK: 2, TouchFraction: 0.8, RetouchProb: 0.55,
+			Seed: 120, PaperSpeedup: 1.05},
+		// ---- OpenFaaS platform operations (Golang with live GC) ----
+		{Name: "up", Suite: "OpenFaaS", Lang: trace.Golang, Class: Platform,
+			Allocs: 50000, SmallFrac: 0.99, SmallSizes: pltfSizes, LargeMin: 600, LargeMax: 8192,
+			ShortFrac: 0.10, MidFrac: 0.20, ComputePerAlloc: 2600, AppBufKB: 4096, ComputeAPK: 2, TouchFraction: 0.8, RetouchProb: 0.3,
+			GCPeriod: 12000, Seed: 121, PaperSpeedup: 1.04},
+		{Name: "deploy", Suite: "OpenFaaS", Lang: trace.Golang, Class: Platform,
+			Allocs: 54000, SmallFrac: 0.99, SmallSizes: pltfSizes, LargeMin: 600, LargeMax: 16384,
+			ShortFrac: 0.12, MidFrac: 0.22, ComputePerAlloc: 1900, AppBufKB: 4096, ComputeAPK: 2, TouchFraction: 0.9, RetouchProb: 0.35,
+			GCPeriod: 12000, Seed: 122, PaperSpeedup: 1.07},
+		{Name: "invoke", Suite: "OpenFaaS", Lang: trace.Golang, Class: Platform,
+			Allocs: 48000, SmallFrac: 0.99, SmallSizes: pltfSizes, LargeMin: 600, LargeMax: 4096,
+			ShortFrac: 0.15, MidFrac: 0.20, ComputePerAlloc: 2400, AppBufKB: 4096, ComputeAPK: 2, TouchFraction: 0.85, RetouchProb: 0.4,
+			GCPeriod: 12000, Seed: 123, PaperSpeedup: 1.05},
+	}
+}
+
+// ByName returns the profile with the given name.
+func ByName(name string) (Profile, bool) {
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}
+
+// ByClass filters profiles by class.
+func ByClass(c Class) []Profile {
+	var out []Profile
+	for _, p := range Profiles() {
+		if p.Class == c {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// ByLanguage filters profiles by language within a class.
+func ByLanguage(c Class, l trace.Language) []Profile {
+	var out []Profile
+	for _, p := range ByClass(c) {
+		if p.Lang == l {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Names returns all profile names in order.
+func Names() []string {
+	ps := Profiles()
+	out := make([]string, len(ps))
+	for i, p := range ps {
+		out[i] = p.Name
+	}
+	return out
+}

@@ -1,0 +1,207 @@
+package workload
+
+import (
+	"testing"
+
+	"memento/internal/stats"
+	"memento/internal/trace"
+)
+
+func TestProfilesComplete(t *testing.T) {
+	ps := Profiles()
+	if len(ps) != 23 {
+		t.Fatalf("profiles = %d, want 23 (16 functions + 4 data-proc + 3 platform)", len(ps))
+	}
+	if len(ByClass(Function)) != 16 {
+		t.Fatalf("functions = %d, want 16", len(ByClass(Function)))
+	}
+	if len(ByClass(DataProc)) != 4 {
+		t.Fatalf("data-proc = %d, want 4", len(ByClass(DataProc)))
+	}
+	if len(ByClass(Platform)) != 3 {
+		t.Fatalf("platform = %d, want 3", len(ByClass(Platform)))
+	}
+	if len(ByLanguage(Function, trace.Python)) != 9 {
+		t.Fatalf("python functions = %d, want 9", len(ByLanguage(Function, trace.Python)))
+	}
+	if len(ByLanguage(Function, trace.Cpp)) != 4 {
+		t.Fatalf("c++ functions = %d, want 4", len(ByLanguage(Function, trace.Cpp)))
+	}
+	if len(ByLanguage(Function, trace.Golang)) != 3 {
+		t.Fatalf("golang functions = %d, want 3", len(ByLanguage(Function, trace.Golang)))
+	}
+	seen := map[string]bool{}
+	for _, p := range ps {
+		if seen[p.Name] {
+			t.Fatalf("duplicate profile %s", p.Name)
+		}
+		seen[p.Name] = true
+		if p.Allocs <= 0 || p.SmallFrac <= 0 || p.SmallFrac > 1 {
+			t.Fatalf("%s: bad basic parameters", p.Name)
+		}
+		if p.ShortFrac+p.MidFrac > 1 {
+			t.Fatalf("%s: lifetime fractions exceed 1", p.Name)
+		}
+		if p.PaperSpeedup < 1.0 || p.PaperSpeedup > 1.3 {
+			t.Fatalf("%s: paper speedup %v outside Fig 8's range", p.Name, p.PaperSpeedup)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	p, ok := ByName("html")
+	if !ok || p.Lang != trace.Python {
+		t.Fatalf("ByName(html) = %+v, %v", p, ok)
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Fatal("unknown name must not resolve")
+	}
+}
+
+func TestGeneratedTracesValidate(t *testing.T) {
+	for _, p := range Profiles() {
+		tr := Generate(p)
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		s := tr.Summarize()
+		if s.Allocs != uint64(p.Allocs) {
+			t.Fatalf("%s: allocs = %d, want %d", p.Name, s.Allocs, p.Allocs)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p, _ := ByName("bfs")
+	a := Generate(p)
+	b := Generate(p)
+	if len(a.Events) != len(b.Events) {
+		t.Fatal("non-deterministic event count")
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatalf("event %d differs", i)
+		}
+	}
+}
+
+// sizeHistogram builds the Fig 2 histogram for a trace.
+func sizeHistogram(tr *trace.Trace) *stats.Histogram {
+	h := stats.NewLinearHistogram(tr.Name, 512, 8)
+	for _, e := range tr.Events {
+		if e.Kind == trace.KindAlloc {
+			h.Add(int64(e.Size))
+		}
+	}
+	return h
+}
+
+func TestSizeDistributionMatchesFig2(t *testing.T) {
+	// Per language, the small fraction should land near the profile's
+	// SmallFrac, and the all-function aggregate near the paper's 93%.
+	var totalSmall, total float64
+	for _, p := range ByClass(Function) {
+		h := sizeHistogram(Generate(p))
+		small := h.FractionAtOrBelow(512)
+		if small < p.SmallFrac-0.03 || small > p.SmallFrac+0.03 {
+			t.Errorf("%s: small fraction %.3f, profile says %.2f", p.Name, small, p.SmallFrac)
+		}
+		totalSmall += small
+		total++
+	}
+	agg := totalSmall / total
+	if agg < 0.88 || agg > 0.98 {
+		t.Fatalf("aggregate small fraction %.3f, paper reports 93%%", agg)
+	}
+}
+
+// lifetimeStats computes the malloc-free distance distribution exactly as
+// Section 2.2 defines it: allocations of the same size class between an
+// object's allocation and its free; never-freed objects are long-lived.
+func lifetimeStats(tr *trace.Trace) (short, mid, long uint64) {
+	classCount := map[uint64]uint64{}
+	bornAt := map[int]uint64{}
+	classOf := map[int]uint64{}
+	for _, e := range tr.Events {
+		switch e.Kind {
+		case trace.KindAlloc:
+			cls := (e.Size + 7) / 8
+			classCount[cls]++
+			bornAt[e.Obj] = classCount[cls]
+			classOf[e.Obj] = cls
+		case trace.KindFree:
+			cls := classOf[e.Obj]
+			d := classCount[cls] - bornAt[e.Obj]
+			switch {
+			case d <= 16:
+				short++
+			case d <= 256:
+				mid++
+			default:
+				long++
+			}
+			delete(bornAt, e.Obj)
+		}
+	}
+	long += uint64(len(bornAt)) // never freed
+	return short, mid, long
+}
+
+func TestLifetimesMatchFig3(t *testing.T) {
+	// C++ functions: overwhelmingly short-lived.
+	for _, name := range []string{"US", "Redis"} {
+		p, _ := ByName(name)
+		s, _, l := lifetimeStats(Generate(p))
+		tot := float64(s + l)
+		if float64(s)/tot < 0.7 {
+			t.Errorf("%s: short fraction %.2f, expected C++-style short-lived", name, float64(s)/tot)
+		}
+	}
+	// Golang functions: batch-freed, all long-lived.
+	p, _ := ByName("html-go")
+	s, m, l := lifetimeStats(Generate(p))
+	if s != 0 || m != 0 || l == 0 {
+		t.Fatalf("html-go lifetimes: short=%d mid=%d long=%d, want all long", s, m, l)
+	}
+	// Aggregate across functions: short around the paper's 71%.
+	var short, all uint64
+	for _, p := range ByClass(Function) {
+		s, m, l := lifetimeStats(Generate(p))
+		short += s
+		all += s + m + l
+	}
+	frac := float64(short) / float64(all)
+	if frac < 0.55 || frac > 0.85 {
+		t.Fatalf("aggregate short-lived fraction %.3f, paper reports 71%%", frac)
+	}
+}
+
+func TestGolangPlatformUsesGC(t *testing.T) {
+	p, _ := ByName("deploy")
+	tr := Generate(p)
+	gcs, frees := 0, 0
+	for _, e := range tr.Events {
+		switch e.Kind {
+		case trace.KindGC:
+			gcs++
+		case trace.KindFree:
+			frees++
+		}
+	}
+	if gcs == 0 {
+		t.Fatal("platform Golang workload must GC")
+	}
+	if frees == 0 {
+		t.Fatal("GC must batch-free dead objects")
+	}
+}
+
+func TestGolangFunctionNeverFrees(t *testing.T) {
+	p, _ := ByName("aes-go")
+	tr := Generate(p)
+	for _, e := range tr.Events {
+		if e.Kind == trace.KindFree || e.Kind == trace.KindGC {
+			t.Fatal("short Golang functions must not free or GC (batch-freed at exit)")
+		}
+	}
+}

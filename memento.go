@@ -1,0 +1,133 @@
+// Package memento is the public API of the Memento reproduction: a
+// timing-level simulation of "Memento: Architectural Support for Ephemeral
+// Memory Management in Serverless Environments" (MICRO '23).
+//
+// The package wraps the internal building blocks — the cache/TLB/DRAM
+// hierarchy, the simulated OS kernel, the pymalloc/jemalloc/Go-runtime
+// baseline allocators, and the Memento hardware (hardware object allocator
+// with its Hardware Object Table, hardware page allocator with the Arena
+// Allocation Cache and hardware-built page tables, and the main-memory
+// bypass) — behind a small surface:
+//
+//	cfg := memento.DefaultConfig()
+//	base, mem, err := memento.Compare(cfg, "html", memento.Options{})
+//	fmt.Printf("speedup: %.2fx\n", memento.Speedup(base, mem))
+//
+// Every table and figure of the paper's evaluation can be regenerated with
+// RunAllExperiments or the individual runners in Experiments().
+package memento
+
+import (
+	"fmt"
+
+	"memento/internal/config"
+	"memento/internal/experiments"
+	"memento/internal/machine"
+	"memento/internal/trace"
+	"memento/internal/workload"
+)
+
+// Config is the simulated machine configuration (Table 3 plus the cost
+// model; see internal/config for every knob).
+type Config = config.Machine
+
+// DefaultConfig returns the paper's Table 3 configuration.
+func DefaultConfig() Config { return config.Default() }
+
+// Options configure a simulation run.
+type Options = machine.Options
+
+// Result is the outcome of one simulation run.
+type Result = machine.Result
+
+// Stack selects the memory-management system under test.
+type Stack = machine.Stack
+
+// Stacks under test.
+const (
+	// Baseline is the software stack (pymalloc/jemalloc/Go runtime + OS).
+	Baseline = machine.Baseline
+	// Memento is the paper's hardware design.
+	Memento = machine.Memento
+)
+
+// Profile describes one synthetic benchmark.
+type Profile = workload.Profile
+
+// Trace is a memory-management event trace.
+type Trace = trace.Trace
+
+// Experiment is one regenerated table or figure.
+type Experiment = experiments.Experiment
+
+// Workloads returns the full benchmark suite (16 serverless functions,
+// 4 data-processing applications, 3 platform operations).
+func Workloads() []Profile { return workload.Profiles() }
+
+// WorkloadNames returns the benchmark names in the paper's order.
+func WorkloadNames() []string { return workload.Names() }
+
+// GenerateTrace builds the deterministic trace for a named workload.
+func GenerateTrace(name string) (*Trace, error) {
+	p, ok := workload.ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("memento: unknown workload %q (see WorkloadNames)", name)
+	}
+	return workload.Generate(p), nil
+}
+
+// Run executes one named workload on one stack.
+func Run(cfg Config, name string, opt Options) (Result, error) {
+	tr, err := GenerateTrace(name)
+	if err != nil {
+		return Result{}, err
+	}
+	m, err := machine.New(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return m.Run(tr, opt)
+}
+
+// RunTrace executes an arbitrary trace on one stack.
+func RunTrace(cfg Config, tr *Trace, opt Options) (Result, error) {
+	m, err := machine.New(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return m.Run(tr, opt)
+}
+
+// Compare runs a named workload on both stacks with identical
+// configuration.
+func Compare(cfg Config, name string, opt Options) (base, mem Result, err error) {
+	tr, err := GenerateTrace(name)
+	if err != nil {
+		return base, mem, err
+	}
+	return machine.RunPair(cfg, tr, opt)
+}
+
+// Speedup returns base cycles / memento cycles.
+func Speedup(base, mem Result) float64 { return machine.Speedup(base, mem) }
+
+// RunAllExperiments regenerates every table and figure of the paper's
+// evaluation (Figs 2-3 and Table 1 from traces; Table 2 and Figs 8-14 plus
+// the Section 6.6/6.7 studies from full simulations).
+func RunAllExperiments(cfg Config) ([]Experiment, error) {
+	return experiments.All(cfg)
+}
+
+// NewSuite exposes the cached experiment runner for callers that want to
+// regenerate individual figures without repeating the workload sweep.
+func NewSuite(cfg Config) *experiments.Suite { return experiments.NewSuite(cfg) }
+
+// RunMultiProcess time-shares one core among several traces (the §6.6
+// multi-process study).
+func RunMultiProcess(cfg Config, traces []*Trace, opt Options, quantumEvents int) ([]Result, error) {
+	m, err := machine.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return m.RunMultiProcess(traces, opt, quantumEvents)
+}
