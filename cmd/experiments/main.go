@@ -1,10 +1,13 @@
 // Command experiments regenerates every table and figure of the paper's
 // evaluation and prints them with the paper's reported values alongside.
+// With -json it also writes the rendered experiments in their stable
+// machine-readable form for downstream tooling.
 //
 // Usage:
 //
-//	experiments            # all tables and figures (full sweep, ~1 min)
-//	experiments -only fig8 # a single experiment
+//	experiments                 # all tables and figures (full sweep, ~1 min)
+//	experiments -only fig8      # a single experiment
+//	experiments -json all.json  # also export the printed experiments as JSON
 package main
 
 import (
@@ -18,6 +21,7 @@ import (
 
 func main() {
 	only := flag.String("only", "", "run a single experiment by id (fig2..fig14, table1..table3, sec6.1-iso, sec6.6-*, sec6.7-mallacc)")
+	jsonOut := flag.String("json", "", "write the printed experiments as a JSON array to FILE (- for stdout)")
 	flag.Parse()
 
 	exps, err := memento.RunAllExperiments(memento.DefaultConfig())
@@ -25,16 +29,32 @@ func main() {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
-	printed := 0
+	var matched []memento.Experiment
 	for _, e := range exps {
 		if *only != "" && !strings.EqualFold(e.ID, *only) {
 			continue
 		}
 		fmt.Println(e.Render())
-		printed++
+		matched = append(matched, e)
 	}
-	if printed == 0 {
+	if len(matched) == 0 {
 		fmt.Fprintf(os.Stderr, "experiments: no experiment matches %q\n", *only)
 		os.Exit(1)
+	}
+	if *jsonOut != "" {
+		out := os.Stdout
+		if *jsonOut != "-" {
+			f, err := os.Create(*jsonOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := memento.ExportExperiments(out, matched); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
 	}
 }

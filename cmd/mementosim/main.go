@@ -1,10 +1,13 @@
 // Command mementosim runs one benchmark on the baseline and Memento stacks
 // and prints the comparison: speedup, cycle breakdown, DRAM traffic, memory
-// usage, and HOT statistics.
+// usage, and HOT statistics. With --metrics-out it also emits the runs as
+// machine-readable JSON (per-bucket cycles, component counters, and a
+// cycle-attribution timeline sampled every --timeline-interval events).
 //
 // Usage:
 //
 //	mementosim -workload html [-cold] [-populate]
+//	mementosim -workload html --metrics-out=html.json [--timeline-interval=2000]
 //	mementosim -list
 package main
 
@@ -18,10 +21,12 @@ import (
 
 func main() {
 	var (
-		name     = flag.String("workload", "html", "benchmark name (see -list)")
-		cold     = flag.Bool("cold", false, "cold-start the function (container setup on the critical path)")
-		populate = flag.Bool("populate", false, "force MAP_POPULATE on baseline mmaps (Section 6.6)")
-		list     = flag.Bool("list", false, "list benchmark names and exit")
+		name       = flag.String("workload", "html", "benchmark name (see -list)")
+		cold       = flag.Bool("cold", false, "cold-start the function (container setup on the critical path)")
+		populate   = flag.Bool("populate", false, "force MAP_POPULATE on baseline mmaps (Section 6.6)")
+		list       = flag.Bool("list", false, "list benchmark names and exit")
+		metricsOut = flag.String("metrics-out", "", "write both runs as JSON RunRecords to FILE (- for stdout)")
+		interval   = flag.Int("timeline-interval", 2000, "with -metrics-out, sample counters every N trace events")
 	)
 	flag.Parse()
 
@@ -32,19 +37,34 @@ func main() {
 		return
 	}
 
-	cfg := memento.DefaultConfig()
-	opt := memento.Options{ColdStart: *cold, MmapPopulate: *populate}
-	base, mem, err := memento.Compare(cfg, *name, opt)
+	opts := []memento.RunOption{}
+	if *cold {
+		opts = append(opts, memento.WithColdStart())
+	}
+	if *populate {
+		opts = append(opts, memento.WithMmapPopulate())
+	}
+	if *metricsOut != "" {
+		opts = append(opts, memento.WithTimeline(*interval))
+	}
+	r := memento.NewRunner(memento.DefaultConfig(), opts...)
+	base, mem, err := r.Compare(*name)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mementosim:", err)
 		os.Exit(1)
 	}
 
-	fmt.Printf("workload %s (%s)\n\n", *name, base.Lang)
-	row := func(label string, b, m uint64) {
-		fmt.Printf("  %-22s %14d %14d\n", label, b, m)
+	// With the JSON going to stdout, the human tables move to stderr so the
+	// metrics stream stays pipeable.
+	tbl := os.Stdout
+	if *metricsOut == "-" {
+		tbl = os.Stderr
 	}
-	fmt.Printf("  %-22s %14s %14s\n", "", "baseline", "memento")
+	fmt.Fprintf(tbl, "workload %s (%s)\n\n", *name, base.Lang)
+	row := func(label string, b, m uint64) {
+		fmt.Fprintf(tbl, "  %-22s %14d %14d\n", label, b, m)
+	}
+	fmt.Fprintf(tbl, "  %-22s %14s %14s\n", "", "baseline", "memento")
 	row("total cycles", base.Cycles, mem.Cycles)
 	row("app compute", base.Buckets.AppCompute, mem.Buckets.AppCompute)
 	row("app memory", base.Buckets.AppMem, mem.Buckets.AppMem)
@@ -58,10 +78,31 @@ func main() {
 	row("pages (kernel)", base.KernelPages, mem.KernelPages)
 	row("page faults", base.Kernel.PageFaults, mem.Kernel.PageFaults)
 
-	fmt.Printf("\n  speedup:            %.3fx\n", memento.Speedup(base, mem))
-	fmt.Printf("  DRAM traffic saved: %.1f%%\n",
+	fmt.Fprintf(tbl, "\n  speedup:            %.3fx\n", memento.Speedup(base, mem))
+	fmt.Fprintf(tbl, "  DRAM traffic saved: %.1f%%\n",
 		100*(1-float64(mem.DRAM.TotalBytes())/float64(base.DRAM.TotalBytes())))
-	fmt.Printf("  HOT hit rates:      alloc %.1f%%  free %.1f%%\n",
+	fmt.Fprintf(tbl, "  HOT hit rates:      alloc %.1f%%  free %.1f%%\n",
 		100*mem.HOT.AllocHitRate(), 100*mem.HOT.FreeHitRate())
-	fmt.Printf("  bypassed lines:     %d\n", mem.HOT.BypassedLines)
+	fmt.Fprintf(tbl, "  bypassed lines:     %d\n", mem.HOT.BypassedLines)
+
+	if *metricsOut != "" {
+		out := os.Stdout
+		if *metricsOut != "-" {
+			f, err := os.Create(*metricsOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mementosim:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := memento.ExportRuns(out, base, mem); err != nil {
+			fmt.Fprintln(os.Stderr, "mementosim:", err)
+			os.Exit(1)
+		}
+		if *metricsOut != "-" {
+			fmt.Fprintf(tbl, "\n  metrics written to %s (%d timeline samples per run)\n",
+				*metricsOut, base.Timeline.Len())
+		}
+	}
 }

@@ -9,6 +9,7 @@ package cache
 import (
 	"memento/internal/config"
 	"memento/internal/dram"
+	"memento/internal/telemetry"
 )
 
 // line is one cache line's bookkeeping.
@@ -164,6 +165,20 @@ type Stats struct {
 	Writebacks uint64
 }
 
+// Counters returns the stats in their stable telemetry wire form.
+func (s Stats) Counters() telemetry.CacheCounters {
+	return telemetry.CacheCounters{
+		L1Hits:      s.L1Hits,
+		L1Misses:    s.L1Misses,
+		L2Hits:      s.L2Hits,
+		L2Misses:    s.L2Misses,
+		LLCHits:     s.LLCHits,
+		LLCMisses:   s.LLCMisses,
+		BypassFills: s.BypassFills,
+		Writebacks:  s.Writebacks,
+	}
+}
+
 // Hierarchy composes L1D -> L2 -> LLC -> DRAM for one core.
 // (The instruction cache of Table 3 is configured but, as the model is
 // trace-driven, instruction fetch is folded into the instruction-cost model.)
@@ -175,7 +190,12 @@ type Hierarchy struct {
 
 	l1Lat, l2Lat, llcLat uint64
 	stats                Stats
+	// probe, when non-nil, observes bypass fills and writebacks.
+	probe telemetry.Probe
 }
+
+// SetProbe attaches a telemetry probe (nil detaches).
+func (h *Hierarchy) SetProbe(p telemetry.Probe) { h.probe = p }
 
 // NewHierarchy wires the three levels to a DRAM model.
 func NewHierarchy(m config.Machine, mem *dram.DRAM) *Hierarchy {
@@ -239,6 +259,9 @@ func (h *Hierarchy) InstallZero(pa uint64, write bool) uint64 {
 	h.stats.BypassFills++
 	h.stats.DRAMFillsAvoided++
 	cycles := h.l1Lat + h.l2Lat + h.llcLat
+	if h.probe != nil {
+		h.probe.Count(telemetry.CtrCacheBypassFill, 1, cycles)
+	}
 	// The line is dirty at the LLC: its zeroed contents exist nowhere in
 	// DRAM, so an eviction must write it back.
 	h.insertLLC(la, true)
@@ -265,6 +288,9 @@ func (h *Hierarchy) FlushLine(pa uint64) uint64 {
 	if dirty {
 		cycles += h.Mem.Write(la << config.LineShift)
 		h.stats.Writebacks++
+		if h.probe != nil {
+			h.probe.Count(telemetry.CtrCacheWriteback, 1, cycles)
+		}
 	}
 	return cycles
 }
@@ -312,6 +338,10 @@ func (h *Hierarchy) insertLLC(la uint64, dirty bool) {
 	if v, d, ok := h.LLC.Insert(la, dirty); ok && d {
 		h.Mem.Write(v << config.LineShift)
 		h.stats.Writebacks++
+		if h.probe != nil {
+			// The eviction writeback is off the critical path (posted).
+			h.probe.Count(telemetry.CtrCacheWriteback, 1, 0)
+		}
 	}
 }
 

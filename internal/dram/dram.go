@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"memento/internal/config"
+	"memento/internal/telemetry"
 )
 
 // Stats accumulates DRAM activity.
@@ -32,6 +33,19 @@ func (s Stats) TotalBytes() uint64 { return s.ReadBytes + s.WriteBytes }
 // TotalAccesses returns read + write access counts.
 func (s Stats) TotalAccesses() uint64 { return s.Reads + s.Writes }
 
+// Counters returns the stats in their stable telemetry wire form.
+func (s Stats) Counters() telemetry.DRAMCounters {
+	return telemetry.DRAMCounters{
+		Reads:      s.Reads,
+		Writes:     s.Writes,
+		ReadBytes:  s.ReadBytes,
+		WriteBytes: s.WriteBytes,
+		RowHits:    s.RowHits,
+		RowMisses:  s.RowMisses,
+		BusyCycles: s.BusyCycles,
+	}
+}
+
 // RowHitRate returns the row-buffer hit rate in [0,1].
 func (s Stats) RowHitRate() float64 {
 	t := s.RowHits + s.RowMisses
@@ -52,7 +66,12 @@ type DRAM struct {
 	bankStreak  uint64
 	stats       Stats
 	rowsPerBank uint64
+	// probe, when non-nil, is notified of every access (observation only).
+	probe telemetry.Probe
 }
+
+// SetProbe attaches a telemetry probe (nil detaches).
+func (d *DRAM) SetProbe(p telemetry.Probe) { d.probe = p }
 
 // New creates a DRAM model from configuration.
 func New(cfg config.DRAMConfig) *DRAM {
@@ -108,6 +127,9 @@ func (d *DRAM) Read(pa uint64) uint64 {
 	lat := d.access(pa)
 	d.stats.Reads++
 	d.stats.ReadBytes += config.LineSize
+	if d.probe != nil {
+		d.probe.Count(telemetry.CtrDRAMRead, 1, lat)
+	}
 	return lat
 }
 
@@ -118,7 +140,11 @@ func (d *DRAM) Write(pa uint64) uint64 {
 	lat := d.access(pa)
 	d.stats.Writes++
 	d.stats.WriteBytes += config.LineSize
-	return lat / 4 // posted write: mostly off the critical path
+	lat /= 4 // posted write: mostly off the critical path
+	if d.probe != nil {
+		d.probe.Count(telemetry.CtrDRAMWrite, 1, lat)
+	}
+	return lat
 }
 
 // Stats returns a copy of the accumulated statistics.

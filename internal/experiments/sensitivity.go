@@ -250,7 +250,12 @@ func MallaccComparison(s *Suite) (Experiment, error) {
 
 // All runs every experiment in the paper's order.
 func All(cfg config.Machine) ([]Experiment, error) {
-	s := NewSuite(cfg)
+	return NewSuite(cfg).All()
+}
+
+// All runs every experiment in the paper's order on this suite, reusing
+// its cached workload sweep.
+func (s *Suite) All() ([]Experiment, error) {
 	out := []Experiment{Fig2AllocationSizes(), Fig3Lifetimes(), Table1Joint()}
 	type runner func(*Suite) (Experiment, error)
 	for _, r := range []runner{

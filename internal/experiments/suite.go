@@ -5,6 +5,7 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -45,7 +46,9 @@ func NewSuite(cfg config.Machine) *Suite {
 }
 
 // Pairs runs (once) every workload on baseline, Memento, and
-// Memento-without-bypass, in parallel across independent machines.
+// Memento-without-bypass, in parallel across independent machines. Every
+// per-workload error is kept (joined with errors.Join); a workload that
+// errors is absent from the returned map, which never contains nil pairs.
 func (s *Suite) Pairs() (map[string]*Pair, error) {
 	s.once.Do(func() {
 		profiles := workload.Profiles()
@@ -55,6 +58,7 @@ func (s *Suite) Pairs() (map[string]*Pair, error) {
 		}
 		jobs := make(chan job)
 		var mu sync.Mutex
+		var errs []error
 		var wg sync.WaitGroup
 		workers := runtime.NumCPU()
 		if workers > len(profiles) {
@@ -69,9 +73,7 @@ func (s *Suite) Pairs() (map[string]*Pair, error) {
 					base, mem, err := machine.RunPair(s.Cfg, tr, machine.Options{})
 					if err != nil {
 						mu.Lock()
-						if s.err == nil {
-							s.err = fmt.Errorf("experiments: %s: %w", j.prof.Name, err)
-						}
+						errs = append(errs, fmt.Errorf("experiments: %s: %w", j.prof.Name, err))
 						mu.Unlock()
 						continue
 					}
@@ -83,10 +85,11 @@ func (s *Suite) Pairs() (map[string]*Pair, error) {
 						noBypass, err = mNB.Run(tr, machine.Options{Stack: machine.Memento})
 					}
 					mu.Lock()
-					if err != nil && s.err == nil {
-						s.err = fmt.Errorf("experiments: %s (no-bypass): %w", j.prof.Name, err)
+					if err != nil {
+						errs = append(errs, fmt.Errorf("experiments: %s (no-bypass): %w", j.prof.Name, err))
+					} else {
+						s.pairs[j.prof.Name] = &Pair{Prof: j.prof, Trace: tr, Base: base, Mem: mem, MemNoBypass: noBypass}
 					}
-					s.pairs[j.prof.Name] = &Pair{Prof: j.prof, Trace: tr, Base: base, Mem: mem, MemNoBypass: noBypass}
 					mu.Unlock()
 				}
 			}()
@@ -96,12 +99,14 @@ func (s *Suite) Pairs() (map[string]*Pair, error) {
 		}
 		close(jobs)
 		wg.Wait()
+		s.err = errors.Join(errs...)
 	})
 	return s.pairs, s.err
 }
 
 // ByClass returns the suite's pairs for one workload class, in profile
-// order.
+// order. Workloads missing from the sweep (because their run errored) are
+// skipped, never returned as nil.
 func (s *Suite) ByClass(c workload.Class) ([]*Pair, error) {
 	pairs, err := s.Pairs()
 	if err != nil {
@@ -109,7 +114,9 @@ func (s *Suite) ByClass(c workload.Class) ([]*Pair, error) {
 	}
 	var out []*Pair
 	for _, p := range workload.ByClass(c) {
-		out = append(out, pairs[p.Name])
+		if pr, ok := pairs[p.Name]; ok && pr != nil {
+			out = append(out, pr)
+		}
 	}
 	return out, nil
 }

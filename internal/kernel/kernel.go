@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"memento/internal/config"
+	"memento/internal/telemetry"
 )
 
 // Reserved low physical frames (kernel image, fixed structures).
@@ -41,6 +42,17 @@ type Stats struct {
 
 // KernelMMCycles returns all kernel memory-management cycles.
 func (s Stats) KernelMMCycles() uint64 { return s.SyscallCycles + s.FaultCycles }
+
+// Counters returns the stats in their stable telemetry wire form.
+func (s Stats) Counters() telemetry.KernelCounters {
+	return telemetry.KernelCounters{
+		Mmaps:         s.Mmaps,
+		Munmaps:       s.Munmaps,
+		PageFaults:    s.PageFaults,
+		SyscallCycles: s.SyscallCycles,
+		FaultCycles:   s.FaultCycles,
+	}
+}
 
 // vma is one mapped virtual region [start, end) in page units.
 type vma struct {
@@ -88,7 +100,12 @@ type Kernel struct {
 	// forcePopulate applies MAP_POPULATE to every mmap (the Section 6.6
 	// sensitivity study).
 	forcePopulate bool
+	// probe, when non-nil, observes syscalls and page faults.
+	probe telemetry.Probe
 }
+
+// SetProbe attaches a telemetry probe (nil detaches).
+func (k *Kernel) SetProbe(p telemetry.Probe) { k.probe = p }
 
 // SetForcePopulate toggles eager population of all mappings (§6.6).
 func (k *Kernel) SetForcePopulate(v bool) { k.forcePopulate = v }
@@ -188,6 +205,9 @@ func (k *Kernel) Mmap(as *AddressSpace, length uint64, populate bool) (va uint64
 		}
 	}
 	k.stats.SyscallCycles += cycles
+	if k.probe != nil {
+		k.probe.Count(telemetry.CtrMmap, 1, cycles)
+	}
 	return start << config.PageShift, cycles, nil
 }
 
@@ -256,6 +276,9 @@ func (k *Kernel) Munmap(as *AddressSpace, va, length uint64) (cycles uint64, err
 	as.vmas = append(as.vmas[:i], as.vmas[i+1:]...)
 	k.stats.Munmaps++
 	k.stats.SyscallCycles += cycles
+	if k.probe != nil {
+		k.probe.Count(telemetry.CtrMunmap, 1, cycles)
+	}
 	return cycles, nil
 }
 
@@ -299,6 +322,9 @@ func (as *AddressSpace) Walk(vpn uint64) (pfn uint64, cycles uint64, ok bool) {
 	k.stats.PageFaults++
 	k.stats.FaultCycles += faultCycles
 	cycles += faultCycles
+	if k.probe != nil {
+		k.probe.Count(telemetry.CtrPageFault, 1, faultCycles)
+	}
 	// Re-walk is folded into the install cost (the handler returns the PFN).
 	pfn, _, _ = as.pt.walk(vpn, nopMem{})
 	return pfn, cycles, true

@@ -15,6 +15,7 @@ import (
 	"memento/internal/dram"
 	"memento/internal/kernel"
 	"memento/internal/softalloc"
+	"memento/internal/telemetry"
 	"memento/internal/tlb"
 	"memento/internal/trace"
 )
@@ -51,6 +52,15 @@ type Options struct {
 	// MmapPopulate forces MAP_POPULATE on all allocator mmaps
 	// (Section 6.6).
 	MmapPopulate bool
+	// Probe, when non-nil, receives per-event and per-component telemetry
+	// during the run (see internal/telemetry). Probes observe only — they
+	// never change cycle accounting — and all hooks run synchronously on
+	// the simulation goroutine.
+	Probe telemetry.Probe
+	// TimelineInterval, when > 0, samples the bucket/cache/TLB/DRAM/kernel
+	// counters every N trace events into Result.Timeline, plus one sample
+	// after setup and one at teardown.
+	TimelineInterval int
 }
 
 // Buckets is the cycle attribution the Fig 9 breakdown derives from.
@@ -113,6 +123,10 @@ type Result struct {
 	// Fragmentation is the end-of-run fraction of inactive small-object
 	// slots (§6.6).
 	Fragmentation float64
+
+	// Timeline is the interval sampling of the run, present only when
+	// Options.TimelineInterval was > 0.
+	Timeline *telemetry.Timeline
 }
 
 // TotalPages returns aggregate user+kernel page allocations.
@@ -146,6 +160,14 @@ func New(cfg config.Machine) (*Machine, error) {
 
 // Config returns the machine configuration.
 func (m *Machine) Config() config.Machine { return m.cfg }
+
+// attachProbe threads one probe through every component (nil detaches all).
+func (m *Machine) attachProbe(p telemetry.Probe) {
+	m.d.SetProbe(p)
+	m.h.SetProbe(p)
+	m.k.SetProbe(p)
+	m.tlbs.SetProbe(p)
+}
 
 // Run executes one trace to completion on a fresh process.
 func (m *Machine) Run(tr *trace.Trace, opt Options) (Result, error) {

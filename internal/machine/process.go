@@ -7,6 +7,7 @@ import (
 	"memento/internal/core"
 	"memento/internal/kernel"
 	"memento/internal/softalloc"
+	"memento/internal/telemetry"
 	"memento/internal/tlb"
 	"memento/internal/trace"
 )
@@ -52,6 +53,9 @@ type process struct {
 	appBufLen uint64
 	appCursor uint64
 	appRng    uint64 // xorshift state for the access pattern
+
+	// timeline, when non-nil, is the run's interval counter recording.
+	timeline *telemetry.Timeline
 }
 
 // mmu dispatches translations: Memento-region addresses walk the hardware
@@ -99,6 +103,7 @@ func (m *Machine) newProcess(tr *trace.Trace, opt Options) (*process, error) {
 	p.mmu = &mmu{p: p}
 	p.as.Shootdown = m.tlbs.Shootdown
 	m.k.SetForcePopulate(opt.MmapPopulate)
+	m.attachProbe(opt.Probe)
 
 	switch opt.Stack {
 	case Baseline:
@@ -160,6 +165,12 @@ func (m *Machine) newProcess(tr *trace.Trace, opt Options) (*process, error) {
 		p.appBufVA, p.appBufLen = va, tr.AppBufBytes
 		p.appRng = uint64(len(tr.Name))*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
 	}
+	if opt.TimelineInterval > 0 {
+		// The post-setup sample anchors the series; with the teardown sample
+		// every timeline has at least two points.
+		p.timeline = telemetry.NewTimeline(opt.TimelineInterval)
+		p.timeline.Record(p.snapshot())
+	}
 	return p, nil
 }
 
@@ -196,8 +207,35 @@ func (p *process) backing() uint64 {
 	return p.pa.Stats().BackingCycles
 }
 
-// step executes one trace event.
+// step executes one trace event, reporting into the attached probe and
+// timeline. The telemetry-disabled fast path costs two nil checks.
 func (p *process) step() error {
+	if p.opt.Probe == nil && p.timeline == nil {
+		return p.stepEvent()
+	}
+	idx := p.pc
+	kind := p.tr.Events[idx].Kind
+	before := p.b
+	if err := p.stepEvent(); err != nil {
+		return err
+	}
+	if p.opt.Probe != nil {
+		p.opt.Probe.Event(telemetry.Event{
+			Index:  idx,
+			Kind:   eventKindOf(kind),
+			Stack:  stackOf(p.opt.Stack),
+			Delta:  bucketsOf(p.b).Sub(bucketsOf(before)),
+			Cycles: p.b.Total(),
+		})
+	}
+	if p.timeline != nil && p.pc%p.opt.TimelineInterval == 0 {
+		p.timeline.Record(p.snapshot())
+	}
+	return nil
+}
+
+// stepEvent executes one trace event.
+func (p *process) stepEvent() error {
 	e := p.tr.Events[p.pc]
 	p.pc++
 	switch e.Kind {
@@ -425,6 +463,7 @@ func (p *process) finish() error {
 		return nil
 	}
 	p.finished = true
+	beforeTeardown := p.b
 	// The §6.6 fragmentation metric is the mean of the periodic samples
 	// taken during execution (end-of-run state is unrepresentative: the
 	// late frees have drained the heap by then).
@@ -446,6 +485,18 @@ func (p *process) finish() error {
 	kd := p.kernelMM() - kb
 	_ = cycles // fully contained in the kernel delta
 	p.b.Kernel += kd
+	if p.opt.Probe != nil {
+		p.opt.Probe.Event(telemetry.Event{
+			Index:  p.pc,
+			Kind:   telemetry.EventFinish,
+			Stack:  stackOf(p.opt.Stack),
+			Delta:  bucketsOf(p.b).Sub(bucketsOf(beforeTeardown)),
+			Cycles: p.b.Total(),
+		})
+	}
+	if p.timeline != nil {
+		p.timeline.Record(p.snapshot())
+	}
 	return nil
 }
 
@@ -466,6 +517,7 @@ func (p *process) result() Result {
 	r.UserPages = r.Kernel.UserPagesAllocated
 	r.KernelPages = r.Kernel.KernelPagesAllocated
 	r.Fragmentation = p.fragSample
+	r.Timeline = p.timeline
 	if p.unit != nil {
 		r.HOT = p.unit.Stats()
 		r.PageAlloc = p.pa.Stats()

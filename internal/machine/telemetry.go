@@ -1,0 +1,83 @@
+package machine
+
+import (
+	"memento/internal/telemetry"
+	"memento/internal/trace"
+)
+
+// bucketsOf mirrors the machine's attribution vector into its telemetry
+// wire form.
+func bucketsOf(b Buckets) telemetry.Buckets {
+	return telemetry.Buckets{
+		AppCompute: b.AppCompute,
+		AppMem:     b.AppMem,
+		UserAlloc:  b.UserAlloc,
+		UserFree:   b.UserFree,
+		Kernel:     b.Kernel,
+		PageMgmt:   b.PageMgmt,
+		GC:         b.GC,
+		CtxSwitch:  b.CtxSwitch,
+	}
+}
+
+// stackOf maps the machine stack onto its telemetry identifier.
+func stackOf(s Stack) telemetry.Stack {
+	if s == Memento {
+		return telemetry.StackMemento
+	}
+	return telemetry.StackBaseline
+}
+
+// eventKindOf maps a trace event kind onto its telemetry identifier.
+func eventKindOf(k trace.Kind) telemetry.EventKind {
+	switch k {
+	case trace.KindAlloc:
+		return telemetry.EventAlloc
+	case trace.KindFree:
+		return telemetry.EventFree
+	case trace.KindTouch:
+		return telemetry.EventTouch
+	case trace.KindCompute:
+		return telemetry.EventCompute
+	case trace.KindGC:
+		return telemetry.EventGC
+	case trace.KindContextSwitch:
+		return telemetry.EventCtxSwitch
+	default:
+		return telemetry.EventFinish
+	}
+}
+
+// snapshot captures the run's cumulative counters as one timeline sample.
+func (p *process) snapshot() telemetry.Sample {
+	return telemetry.Sample{
+		Event:   p.pc,
+		Cycles:  p.b.Total(),
+		Buckets: bucketsOf(p.b),
+		Cache:   p.m.h.Stats().Counters(),
+		TLB:     p.m.tlbs.Stats().Counters(),
+		DRAM:    p.m.d.Stats().Counters(),
+		Kernel:  p.m.k.Stats().Counters(),
+	}
+}
+
+// Record converts the Result into its stable machine-readable form for the
+// JSON/CSV exporters (internal/telemetry/export.go).
+func (r Result) Record() telemetry.RunRecord {
+	return telemetry.RunRecord{
+		Workload:          r.Workload,
+		Lang:              r.Lang.String(),
+		Stack:             r.Stack.String(),
+		Cycles:            r.Cycles,
+		Buckets:           bucketsOf(r.Buckets),
+		Cache:             r.Hier.Counters(),
+		TLB:               r.TLB.Counters(),
+		DRAM:              r.DRAM.Counters(),
+		Kernel:            r.Kernel.Counters(),
+		UserPages:         r.UserPages,
+		KernelPages:       r.KernelPages,
+		PeakResidentPages: r.PeakResidentPages,
+		Fragmentation:     r.Fragmentation,
+		Timeline:          r.Timeline,
+	}
+}

@@ -1,0 +1,136 @@
+package machine
+
+import (
+	"reflect"
+	"testing"
+
+	"memento/internal/config"
+	"memento/internal/telemetry"
+	"memento/internal/trace"
+	"memento/internal/workload"
+)
+
+func runWith(t *testing.T, name string, opt Options) (Result, *trace.Trace) {
+	t.Helper()
+	p, ok := workload.ByName(name)
+	if !ok {
+		t.Fatalf("unknown workload %s", name)
+	}
+	tr := workload.Generate(p)
+	m, err := New(config.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := m.Run(tr, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, tr
+}
+
+// TestProbeObservesEveryEvent: the probe must see one Event per trace
+// event plus the teardown, and the event deltas plus the setup cost
+// (captured by the timeline's anchor sample) must sum to the run's
+// final bucket attribution.
+func TestProbeObservesEveryEvent(t *testing.T) {
+	for _, stack := range []Stack{Baseline, Memento} {
+		var p telemetry.Counters
+		r, tr := runWith(t, "aes", Options{Stack: stack, Probe: &p, TimelineInterval: 1 << 30})
+
+		want := uint64(len(tr.Events)) + 1 // +1 teardown
+		if got := p.TotalEvents(); got != want {
+			t.Fatalf("%v: probe saw %d events, want %d", stack, got, want)
+		}
+		if p.Events[telemetry.EventFinish] != 1 {
+			t.Fatalf("%v: finish events = %d", stack, p.Events[telemetry.EventFinish])
+		}
+		setup := r.Timeline.Samples[0].Buckets
+		if p.Cycles.Add(setup) != bucketsOf(r.Buckets) {
+			t.Fatalf("%v: probe bucket totals %+v (+setup %+v) != result %+v", stack, p.Cycles, setup, r.Buckets)
+		}
+		if p.Ops[telemetry.CtrDRAMRead] == 0 || p.Ops[telemetry.CtrMmap] == 0 {
+			t.Fatalf("%v: component counters not reported: %v", stack, p.Ops)
+		}
+		if stack == Baseline && p.Ops[telemetry.CtrPageFault] == 0 {
+			t.Fatal("baseline run must report page faults")
+		}
+		if stack == Memento && p.Ops[telemetry.CtrCacheBypassFill] == 0 {
+			t.Fatal("memento run must report bypass fills")
+		}
+	}
+}
+
+// TestTimelineSampling: a timeline run records the anchor sample, interval
+// samples, and the teardown sample, with monotone event/cycle axes ending
+// at the run's final attribution.
+func TestTimelineSampling(t *testing.T) {
+	const interval = 500
+	r, tr := runWith(t, "aes", Options{Stack: Memento, TimelineInterval: interval})
+	tl := r.Timeline
+	if tl == nil || tl.Interval != interval {
+		t.Fatalf("timeline missing: %+v", tl)
+	}
+	wantMin := 2 + len(tr.Events)/interval
+	if tl.Len() < wantMin {
+		t.Fatalf("samples = %d, want >= %d", tl.Len(), wantMin)
+	}
+	if tl.Samples[0].Event != 0 {
+		t.Fatalf("first sample at event %d, want 0", tl.Samples[0].Event)
+	}
+	for i := 1; i < tl.Len(); i++ {
+		prev, cur := tl.Samples[i-1], tl.Samples[i]
+		if cur.Event < prev.Event || cur.Cycles < prev.Cycles {
+			t.Fatalf("sample %d not monotone: %+v -> %+v", i, prev, cur)
+		}
+		if cur.DRAM.Reads < prev.DRAM.Reads || cur.Cache.L1Misses < prev.Cache.L1Misses {
+			t.Fatalf("sample %d counters not monotone", i)
+		}
+	}
+	last := tl.Last()
+	if last.Event != len(tr.Events) {
+		t.Fatalf("last sample at event %d, want %d", last.Event, len(tr.Events))
+	}
+	if last.Buckets != bucketsOf(r.Buckets) || last.Cycles != r.Cycles {
+		t.Fatalf("teardown sample %+v != result %+v", last.Buckets, r.Buckets)
+	}
+}
+
+// TestTelemetryDoesNotPerturbResults: attaching a probe and a timeline
+// must not change a single counter or cycle of the Result.
+func TestTelemetryDoesNotPerturbResults(t *testing.T) {
+	for _, stack := range []Stack{Baseline, Memento} {
+		plain, _ := runWith(t, "html", Options{Stack: stack})
+		var p telemetry.Counters
+		probed, _ := runWith(t, "html", Options{Stack: stack, Probe: &p, TimelineInterval: 1000})
+		probed.Timeline = nil
+		if !reflect.DeepEqual(plain, probed) {
+			t.Fatalf("%v: telemetry perturbed the result:\nplain:  %+v\nprobed: %+v", stack, plain, probed)
+		}
+	}
+}
+
+// TestMultiProcessTelemetry: probes and timelines work for time-shared
+// runs too (each process records its own timeline).
+func TestMultiProcessTelemetry(t *testing.T) {
+	p1, _ := workload.ByName("aes")
+	p2, _ := workload.ByName("jl")
+	traces := []*trace.Trace{workload.Generate(p1), workload.Generate(p2)}
+	m, err := New(config.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p telemetry.Counters
+	results, err := m.RunMultiProcess(traces, Options{Stack: Memento, Probe: &p, TimelineInterval: 1000}, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantEvents := uint64(len(traces[0].Events)+len(traces[1].Events)) + 2
+	if got := p.TotalEvents(); got != wantEvents {
+		t.Fatalf("probe saw %d events, want %d", got, wantEvents)
+	}
+	for i, r := range results {
+		if r.Timeline.Len() < 2 {
+			t.Fatalf("process %d timeline has %d samples", i, r.Timeline.Len())
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package telemetry
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"io"
+	"strconv"
+)
+
+// RunRecord is the stable machine-readable form of one simulation run:
+// everything downstream tooling needs to reproduce the paper's per-workload
+// rows (and, with a timeline attached, the intra-run time series) without
+// scraping rendered text tables. Field names are the wire contract; do not
+// rename them.
+type RunRecord struct {
+	Workload string `json:"workload"`
+	Lang     string `json:"lang"`
+	Stack    string `json:"stack"`
+
+	Cycles  uint64  `json:"cycles"`
+	Buckets Buckets `json:"buckets"`
+
+	Cache  CacheCounters  `json:"cache"`
+	TLB    TLBCounters    `json:"tlb"`
+	DRAM   DRAMCounters   `json:"dram"`
+	Kernel KernelCounters `json:"kernel"`
+
+	UserPages         uint64  `json:"user_pages"`
+	KernelPages       uint64  `json:"kernel_pages"`
+	PeakResidentPages uint64  `json:"peak_resident_pages"`
+	Fragmentation     float64 `json:"fragmentation"`
+
+	Timeline *Timeline `json:"timeline,omitempty"`
+}
+
+// WriteJSON writes v as two-space-indented, newline-terminated JSON.
+func WriteJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+// WriteRunsJSON writes runs as one JSON array.
+func WriteRunsJSON(w io.Writer, runs []RunRecord) error {
+	if runs == nil {
+		runs = []RunRecord{}
+	}
+	return WriteJSON(w, runs)
+}
+
+// runsCSVHeader is the column contract of WriteRunsCSV.
+var runsCSVHeader = []string{
+	"workload", "lang", "stack", "cycles",
+	"app_compute", "app_mem", "user_alloc", "user_free",
+	"kernel", "page_mgmt", "gc", "ctx_switch",
+	"l1_hits", "l1_misses", "l2_hits", "l2_misses", "llc_hits", "llc_misses",
+	"bypass_fills", "writebacks",
+	"tlb_walks", "tlb_walk_cycles", "tlb_shootdowns",
+	"dram_reads", "dram_writes", "dram_read_bytes", "dram_write_bytes",
+	"dram_row_hits", "dram_row_misses",
+	"mmaps", "munmaps", "page_faults", "syscall_cycles", "fault_cycles",
+	"user_pages", "kernel_pages", "peak_resident_pages", "fragmentation",
+}
+
+// WriteRunsCSV writes one row per run with the stable column set of
+// runsCSVHeader (timelines are JSON-only; export them separately with
+// Timeline.WriteCSV).
+func WriteRunsCSV(w io.Writer, runs []RunRecord) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(runsCSVHeader); err != nil {
+		return err
+	}
+	for _, r := range runs {
+		row := []string{r.Workload, r.Lang, r.Stack, u(r.Cycles)}
+		row = append(row, bucketCells(r.Buckets)...)
+		row = append(row,
+			u(r.Cache.L1Hits), u(r.Cache.L1Misses),
+			u(r.Cache.L2Hits), u(r.Cache.L2Misses),
+			u(r.Cache.LLCHits), u(r.Cache.LLCMisses),
+			u(r.Cache.BypassFills), u(r.Cache.Writebacks),
+			u(r.TLB.Walks), u(r.TLB.WalkCycles), u(r.TLB.Shootdowns),
+			u(r.DRAM.Reads), u(r.DRAM.Writes),
+			u(r.DRAM.ReadBytes), u(r.DRAM.WriteBytes),
+			u(r.DRAM.RowHits), u(r.DRAM.RowMisses),
+			u(r.Kernel.Mmaps), u(r.Kernel.Munmaps), u(r.Kernel.PageFaults),
+			u(r.Kernel.SyscallCycles), u(r.Kernel.FaultCycles),
+			u(r.UserPages), u(r.KernelPages), u(r.PeakResidentPages),
+			strconv.FormatFloat(r.Fragmentation, 'f', 6, 64),
+		)
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// timelineCSVHeader is the column contract of Timeline.WriteCSV.
+var timelineCSVHeader = []string{
+	"event", "cycles",
+	"app_compute", "app_mem", "user_alloc", "user_free",
+	"kernel", "page_mgmt", "gc", "ctx_switch",
+	"l1_misses", "l2_misses", "llc_misses", "bypass_fills", "writebacks",
+	"tlb_walks", "tlb_shootdowns",
+	"dram_reads", "dram_writes", "dram_row_hits", "dram_row_misses",
+	"mmaps", "munmaps", "page_faults",
+}
+
+// WriteCSV writes the timeline as one row per sample (cumulative
+// counters; diff consecutive rows for per-interval activity).
+func (t *Timeline) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(timelineCSVHeader); err != nil {
+		return err
+	}
+	if t != nil {
+		for _, s := range t.Samples {
+			row := []string{strconv.Itoa(s.Event), u(s.Cycles)}
+			row = append(row, bucketCells(s.Buckets)...)
+			row = append(row,
+				u(s.Cache.L1Misses), u(s.Cache.L2Misses), u(s.Cache.LLCMisses),
+				u(s.Cache.BypassFills), u(s.Cache.Writebacks),
+				u(s.TLB.Walks), u(s.TLB.Shootdowns),
+				u(s.DRAM.Reads), u(s.DRAM.Writes),
+				u(s.DRAM.RowHits), u(s.DRAM.RowMisses),
+				u(s.Kernel.Mmaps), u(s.Kernel.Munmaps), u(s.Kernel.PageFaults),
+			)
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func bucketCells(b Buckets) []string {
+	return []string{
+		u(b.AppCompute), u(b.AppMem), u(b.UserAlloc), u(b.UserFree),
+		u(b.Kernel), u(b.PageMgmt), u(b.GC), u(b.CtxSwitch),
+	}
+}
+
+func u(v uint64) string { return strconv.FormatUint(v, 10) }

@@ -1,0 +1,295 @@
+// Package telemetry is the observability layer of the timing simulator:
+// a zero-dependency (stdlib-only) set of types every simulator layer —
+// the machine's event loop, the kernel, the cache hierarchy, the TLBs, and
+// the DRAM model — reports into, without import cycles.
+//
+// The layer has three parts:
+//
+//   - Probe: per-event hooks. A Probe attached to a run receives one Event
+//     per trace event (kind, stack, cycle deltas per attribution bucket)
+//     and one Count call per component operation (DRAM access, TLB walk,
+//     page fault, mmap, bypass fill, ...). Probes observe only: they never
+//     change cycle accounting, and all hooks run synchronously on the
+//     simulation goroutine, so implementations must be cheap.
+//
+//   - Timeline: an interval recorder. The machine samples every component's
+//     counters every N trace events into a Timeline, so a finished run can
+//     be replayed as a cycle-attribution time series (the per-phase view
+//     Table 2 and Figs 8-11 aggregate away).
+//
+//   - Exporters: stable JSON and CSV wire forms (RunRecord, Timeline) for
+//     downstream tooling, defined in export.go.
+//
+// Every hook site in the simulator is nil-guarded: with no probe attached
+// and no timeline requested, the hot path pays only a nil comparison.
+package telemetry
+
+// Buckets is the per-category cycle-attribution vector of one run, the
+// machine's Buckets mirrored here so lower layers can report it without
+// importing the machine package. Field meanings match the paper's Fig 9
+// breakdown categories.
+type Buckets struct {
+	// AppCompute is non-MM application work (including RPCs, cold start).
+	AppCompute uint64 `json:"app_compute"`
+	// AppMem is application data-access time.
+	AppMem uint64 `json:"app_mem"`
+	// UserAlloc / UserFree are userspace (or hardware-object) MM cycles.
+	UserAlloc uint64 `json:"user_alloc"`
+	UserFree  uint64 `json:"user_free"`
+	// Kernel is kernel MM work: syscalls, page faults, exit teardown.
+	Kernel uint64 `json:"kernel"`
+	// PageMgmt is Memento's hardware page-allocator work.
+	PageMgmt uint64 `json:"page_mgmt"`
+	// GC is garbage-collection mark work.
+	GC uint64 `json:"gc"`
+	// CtxSwitch is scheduler + HOT/TLB flush cost.
+	CtxSwitch uint64 `json:"ctx_switch"`
+}
+
+// Total sums all categories.
+func (b Buckets) Total() uint64 {
+	return b.AppCompute + b.AppMem + b.UserAlloc + b.UserFree +
+		b.Kernel + b.PageMgmt + b.GC + b.CtxSwitch
+}
+
+// Sub returns b - o element-wise. Callers subtract an earlier snapshot of
+// the same monotonically-growing vector, so no underflow handling is done.
+func (b Buckets) Sub(o Buckets) Buckets {
+	return Buckets{
+		AppCompute: b.AppCompute - o.AppCompute,
+		AppMem:     b.AppMem - o.AppMem,
+		UserAlloc:  b.UserAlloc - o.UserAlloc,
+		UserFree:   b.UserFree - o.UserFree,
+		Kernel:     b.Kernel - o.Kernel,
+		PageMgmt:   b.PageMgmt - o.PageMgmt,
+		GC:         b.GC - o.GC,
+		CtxSwitch:  b.CtxSwitch - o.CtxSwitch,
+	}
+}
+
+// Add returns b + o element-wise.
+func (b Buckets) Add(o Buckets) Buckets {
+	return Buckets{
+		AppCompute: b.AppCompute + o.AppCompute,
+		AppMem:     b.AppMem + o.AppMem,
+		UserAlloc:  b.UserAlloc + o.UserAlloc,
+		UserFree:   b.UserFree + o.UserFree,
+		Kernel:     b.Kernel + o.Kernel,
+		PageMgmt:   b.PageMgmt + o.PageMgmt,
+		GC:         b.GC + o.GC,
+		CtxSwitch:  b.CtxSwitch + o.CtxSwitch,
+	}
+}
+
+// Stack identifies the memory-management system under test.
+type Stack uint8
+
+const (
+	// StackBaseline is the software stack.
+	StackBaseline Stack = iota
+	// StackMemento is the paper's hardware design.
+	StackMemento
+)
+
+// String implements fmt.Stringer.
+func (s Stack) String() string {
+	if s == StackMemento {
+		return "memento"
+	}
+	return "baseline"
+}
+
+// EventKind classifies one trace event reported to a Probe.
+type EventKind uint8
+
+const (
+	// EventAlloc is an object allocation.
+	EventAlloc EventKind = iota
+	// EventFree is an object free.
+	EventFree
+	// EventTouch is an application data access.
+	EventTouch
+	// EventCompute is non-MM application work.
+	EventCompute
+	// EventGC is a garbage-collection mark phase.
+	EventGC
+	// EventCtxSwitch is a scheduler context switch.
+	EventCtxSwitch
+	// EventFinish is the process-exit teardown (not a trace event; reported
+	// once per run with the teardown's cycle delta).
+	EventFinish
+
+	numEventKinds
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case EventAlloc:
+		return "alloc"
+	case EventFree:
+		return "free"
+	case EventTouch:
+		return "touch"
+	case EventCompute:
+		return "compute"
+	case EventGC:
+		return "gc"
+	case EventCtxSwitch:
+		return "ctx_switch"
+	case EventFinish:
+		return "finish"
+	default:
+		return "unknown"
+	}
+}
+
+// NumEventKinds is the number of distinct EventKind values.
+const NumEventKinds = int(numEventKinds)
+
+// Event is one completed simulation step as seen by a Probe.
+type Event struct {
+	// Index is the trace event index; the teardown (EventFinish) uses the
+	// trace length.
+	Index int
+	// Kind classifies the event.
+	Kind EventKind
+	// Stack is the stack the run executes on.
+	Stack Stack
+	// Delta is the cycles this event added to each attribution bucket.
+	Delta Buckets
+	// Cycles is the run's cumulative attributed cycles after the event.
+	Cycles uint64
+}
+
+// Counter identifies one component operation reported via Probe.Count.
+type Counter uint8
+
+const (
+	// CtrDRAMRead / CtrDRAMWrite are line-granularity DRAM accesses.
+	CtrDRAMRead Counter = iota
+	CtrDRAMWrite
+	// CtrTLBWalk is a page-table walk (both TLB levels missed).
+	CtrTLBWalk
+	// CtrTLBShootdown is a single-page TLB invalidation.
+	CtrTLBShootdown
+	// CtrCacheBypassFill is a line instantiated zeroed at the LLC instead of
+	// being fetched from DRAM (the Section 3.3 bypass).
+	CtrCacheBypassFill
+	// CtrCacheWriteback is a dirty eviction that reached DRAM.
+	CtrCacheWriteback
+	// CtrPageFault is a kernel page fault (trap + handler + zeroing).
+	CtrPageFault
+	// CtrMmap / CtrMunmap are the mapping syscalls.
+	CtrMmap
+	CtrMunmap
+
+	numCounters
+)
+
+// NumCounters is the number of distinct Counter values.
+const NumCounters = int(numCounters)
+
+// String implements fmt.Stringer.
+func (c Counter) String() string {
+	switch c {
+	case CtrDRAMRead:
+		return "dram_read"
+	case CtrDRAMWrite:
+		return "dram_write"
+	case CtrTLBWalk:
+		return "tlb_walk"
+	case CtrTLBShootdown:
+		return "tlb_shootdown"
+	case CtrCacheBypassFill:
+		return "cache_bypass_fill"
+	case CtrCacheWriteback:
+		return "cache_writeback"
+	case CtrPageFault:
+		return "page_fault"
+	case CtrMmap:
+		return "mmap"
+	case CtrMunmap:
+		return "munmap"
+	default:
+		return "unknown"
+	}
+}
+
+// Probe receives fine-grained simulator activity during a run. All hooks
+// are invoked synchronously on the simulation goroutine; implementations
+// must be cheap and must not block. A nil Probe disables all reporting.
+type Probe interface {
+	// Event reports one completed simulation event with its cycle deltas.
+	Event(e Event)
+	// Count reports n occurrences of a component operation and the cycles
+	// it charged to the run's critical path (0 when the operation is
+	// off-path or its cost is accounted elsewhere).
+	Count(c Counter, n, cycles uint64)
+}
+
+// Nop is a Probe that does nothing — the overhead baseline for benchmarks
+// and a convenient embed for partial probes.
+type Nop struct{}
+
+// Event implements Probe.
+func (Nop) Event(Event) {}
+
+// Count implements Probe.
+func (Nop) Count(Counter, uint64, uint64) {}
+
+// Counters is the cheapest useful Probe: it accumulates per-kind event
+// counts, per-bucket cycle totals, and per-counter operation totals.
+// It is not safe for concurrent use; attach one per run.
+type Counters struct {
+	// Events counts trace events by kind.
+	Events [NumEventKinds]uint64
+	// Cycles is the per-bucket cycle total accumulated from event deltas.
+	Cycles Buckets
+	// Ops / OpCycles accumulate component operations and their charged
+	// cycles by counter.
+	Ops      [NumCounters]uint64
+	OpCycles [NumCounters]uint64
+}
+
+// Event implements Probe.
+func (p *Counters) Event(e Event) {
+	if int(e.Kind) < NumEventKinds {
+		p.Events[e.Kind]++
+	}
+	p.Cycles = p.Cycles.Add(e.Delta)
+}
+
+// Count implements Probe.
+func (p *Counters) Count(c Counter, n, cycles uint64) {
+	if int(c) < NumCounters {
+		p.Ops[c] += n
+		p.OpCycles[c] += cycles
+	}
+}
+
+// TotalEvents sums all event counts.
+func (p *Counters) TotalEvents() uint64 {
+	var t uint64
+	for _, n := range p.Events {
+		t += n
+	}
+	return t
+}
+
+// Multi fans every hook out to several probes, in order.
+type Multi []Probe
+
+// Event implements Probe.
+func (m Multi) Event(e Event) {
+	for _, p := range m {
+		p.Event(e)
+	}
+}
+
+// Count implements Probe.
+func (m Multi) Count(c Counter, n, cycles uint64) {
+	for _, p := range m {
+		p.Count(c, n, cycles)
+	}
+}

@@ -1,0 +1,102 @@
+package telemetry
+
+import "testing"
+
+func TestBucketsMath(t *testing.T) {
+	a := Buckets{AppCompute: 10, AppMem: 9, UserAlloc: 8, UserFree: 7,
+		Kernel: 6, PageMgmt: 5, GC: 4, CtxSwitch: 3}
+	if got := a.Total(); got != 52 {
+		t.Fatalf("Total = %d, want 52", got)
+	}
+	b := a.Add(a)
+	if b.Total() != 104 || b.AppCompute != 20 || b.CtxSwitch != 6 {
+		t.Fatalf("Add wrong: %+v", b)
+	}
+	if d := b.Sub(a); d != a {
+		t.Fatalf("Sub wrong: %+v", d)
+	}
+}
+
+func TestCountersProbe(t *testing.T) {
+	var p Counters
+	p.Event(Event{Kind: EventAlloc, Delta: Buckets{UserAlloc: 100, Kernel: 20}, Cycles: 120})
+	p.Event(Event{Kind: EventAlloc, Delta: Buckets{UserAlloc: 50}, Cycles: 170})
+	p.Event(Event{Kind: EventFinish, Delta: Buckets{Kernel: 30}, Cycles: 200})
+	p.Count(CtrDRAMRead, 1, 45)
+	p.Count(CtrDRAMRead, 2, 90)
+	p.Count(CtrPageFault, 1, 1000)
+
+	if p.Events[EventAlloc] != 2 || p.Events[EventFinish] != 1 {
+		t.Fatalf("event counts wrong: %v", p.Events)
+	}
+	if p.TotalEvents() != 3 {
+		t.Fatalf("TotalEvents = %d", p.TotalEvents())
+	}
+	if p.Cycles.UserAlloc != 150 || p.Cycles.Kernel != 50 {
+		t.Fatalf("bucket totals wrong: %+v", p.Cycles)
+	}
+	if p.Ops[CtrDRAMRead] != 3 || p.OpCycles[CtrDRAMRead] != 135 {
+		t.Fatalf("dram counter wrong: %d/%d", p.Ops[CtrDRAMRead], p.OpCycles[CtrDRAMRead])
+	}
+	if p.Ops[CtrPageFault] != 1 {
+		t.Fatalf("fault counter wrong")
+	}
+}
+
+func TestMultiProbeFansOut(t *testing.T) {
+	var a, b Counters
+	m := Multi{&a, &b}
+	m.Event(Event{Kind: EventTouch, Delta: Buckets{AppMem: 7}})
+	m.Count(CtrMmap, 1, 10)
+	for _, p := range []*Counters{&a, &b} {
+		if p.Events[EventTouch] != 1 || p.Cycles.AppMem != 7 || p.Ops[CtrMmap] != 1 {
+			t.Fatalf("fan-out missed a probe: %+v", p)
+		}
+	}
+}
+
+func TestNopProbeImplementsProbe(t *testing.T) {
+	var p Probe = Nop{}
+	p.Event(Event{})
+	p.Count(CtrMunmap, 1, 0)
+}
+
+func TestTimeline(t *testing.T) {
+	tl := NewTimeline(100)
+	if tl.Len() != 0 || tl.Last() != (Sample{}) {
+		t.Fatal("empty timeline not empty")
+	}
+	tl.Record(Sample{Event: 0, Cycles: 10})
+	tl.Record(Sample{Event: 100, Cycles: 250})
+	if tl.Len() != 2 || tl.Interval != 100 {
+		t.Fatalf("timeline wrong: %+v", tl)
+	}
+	if tl.Last().Cycles != 250 {
+		t.Fatalf("Last = %+v", tl.Last())
+	}
+	var nilTL *Timeline
+	if nilTL.Len() != 0 {
+		t.Fatal("nil timeline Len must be 0")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if StackBaseline.String() != "baseline" || StackMemento.String() != "memento" {
+		t.Fatal("stack strings")
+	}
+	wantKinds := map[EventKind]string{
+		EventAlloc: "alloc", EventFree: "free", EventTouch: "touch",
+		EventCompute: "compute", EventGC: "gc", EventCtxSwitch: "ctx_switch",
+		EventFinish: "finish",
+	}
+	for k, want := range wantKinds {
+		if k.String() != want {
+			t.Errorf("kind %d = %q, want %q", k, k.String(), want)
+		}
+	}
+	for c := Counter(0); int(c) < NumCounters; c++ {
+		if c.String() == "unknown" {
+			t.Errorf("counter %d has no name", c)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package telemetry
+
+// CacheCounters is a point-in-time snapshot of the cache hierarchy's
+// counters (a mirror of cache.Stats with a stable wire form).
+type CacheCounters struct {
+	L1Hits      uint64 `json:"l1_hits"`
+	L1Misses    uint64 `json:"l1_misses"`
+	L2Hits      uint64 `json:"l2_hits"`
+	L2Misses    uint64 `json:"l2_misses"`
+	LLCHits     uint64 `json:"llc_hits"`
+	LLCMisses   uint64 `json:"llc_misses"`
+	BypassFills uint64 `json:"bypass_fills"`
+	Writebacks  uint64 `json:"writebacks"`
+}
+
+// TLBCounters is a point-in-time snapshot of the TLB system's counters.
+type TLBCounters struct {
+	L1Hits     uint64 `json:"l1_hits"`
+	L1Misses   uint64 `json:"l1_misses"`
+	L2Hits     uint64 `json:"l2_hits"`
+	L2Misses   uint64 `json:"l2_misses"`
+	Walks      uint64 `json:"walks"`
+	WalkCycles uint64 `json:"walk_cycles"`
+	Shootdowns uint64 `json:"shootdowns"`
+}
+
+// DRAMCounters is a point-in-time snapshot of the DRAM model's counters.
+type DRAMCounters struct {
+	Reads      uint64 `json:"reads"`
+	Writes     uint64 `json:"writes"`
+	ReadBytes  uint64 `json:"read_bytes"`
+	WriteBytes uint64 `json:"write_bytes"`
+	RowHits    uint64 `json:"row_hits"`
+	RowMisses  uint64 `json:"row_misses"`
+	BusyCycles uint64 `json:"busy_cycles"`
+}
+
+// KernelCounters is a point-in-time snapshot of the kernel's MM counters.
+type KernelCounters struct {
+	Mmaps         uint64 `json:"mmaps"`
+	Munmaps       uint64 `json:"munmaps"`
+	PageFaults    uint64 `json:"page_faults"`
+	SyscallCycles uint64 `json:"syscall_cycles"`
+	FaultCycles   uint64 `json:"fault_cycles"`
+}
+
+// Sample is one timeline observation: the cumulative state of every
+// counter after `Event` trace events have executed. Deltas between
+// consecutive samples give the interval's activity.
+type Sample struct {
+	// Event is the number of trace events executed at sample time.
+	Event int `json:"event"`
+	// Cycles is the cumulative attributed cycle count.
+	Cycles uint64 `json:"cycles"`
+	// Buckets is the cumulative per-category attribution.
+	Buckets Buckets `json:"buckets"`
+	// Cache / TLB / DRAM / Kernel are the component counters.
+	Cache  CacheCounters  `json:"cache"`
+	TLB    TLBCounters    `json:"tlb"`
+	DRAM   DRAMCounters   `json:"dram"`
+	Kernel KernelCounters `json:"kernel"`
+}
+
+// Timeline is the interval recording of one run: a sample after setup
+// (event 0), one every Interval trace events, and one at teardown. Every
+// run that requests a timeline therefore has at least two samples.
+type Timeline struct {
+	// Interval is the sampling period in trace events.
+	Interval int `json:"interval"`
+	// Samples is the ordered observation series.
+	Samples []Sample `json:"samples"`
+}
+
+// NewTimeline creates a recorder with the given sampling interval.
+func NewTimeline(interval int) *Timeline {
+	return &Timeline{Interval: interval}
+}
+
+// Record appends one sample.
+func (t *Timeline) Record(s Sample) { t.Samples = append(t.Samples, s) }
+
+// Len returns the number of samples.
+func (t *Timeline) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.Samples)
+}
+
+// Last returns the final sample (zero if empty).
+func (t *Timeline) Last() Sample {
+	if t.Len() == 0 {
+		return Sample{}
+	}
+	return t.Samples[len(t.Samples)-1]
+}

@@ -7,6 +7,7 @@ package tlb
 
 import (
 	"memento/internal/config"
+	"memento/internal/telemetry"
 )
 
 // entry is a cached VPN -> PFN translation.
@@ -137,11 +138,29 @@ type Stats struct {
 	Shootdowns       uint64
 }
 
+// Counters returns the stats in their stable telemetry wire form.
+func (s Stats) Counters() telemetry.TLBCounters {
+	return telemetry.TLBCounters{
+		L1Hits:     s.L1Hits,
+		L1Misses:   s.L1Misses,
+		L2Hits:     s.L2Hits,
+		L2Misses:   s.L2Misses,
+		Walks:      s.Walks,
+		WalkCycles: s.WalkCycles,
+		Shootdowns: s.Shootdowns,
+	}
+}
+
 // System is the two-level TLB plus walker glue for one core.
 type System struct {
 	L1, L2 *TLB
 	stats  Stats
+	// probe, when non-nil, observes walks and shootdowns.
+	probe telemetry.Probe
 }
+
+// SetProbe attaches a telemetry probe (nil detaches).
+func (s *System) SetProbe(p telemetry.Probe) { s.probe = p }
 
 // NewSystem builds the Table 3 TLB pair.
 func NewSystem(m config.Machine) *System {
@@ -170,6 +189,9 @@ func (s *System) Translate(vpn uint64, w Walker) (pfn uint64, cycles uint64, ok 
 	s.stats.Walks++
 	s.stats.WalkCycles += walkCycles
 	cycles += walkCycles
+	if s.probe != nil {
+		s.probe.Count(telemetry.CtrTLBWalk, 1, walkCycles)
+	}
 	if !ok {
 		return 0, cycles, false
 	}
@@ -183,6 +205,9 @@ func (s *System) Shootdown(vpn uint64) {
 	s.L1.InvalidatePage(vpn)
 	s.L2.InvalidatePage(vpn)
 	s.stats.Shootdowns++
+	if s.probe != nil {
+		s.probe.Count(telemetry.CtrTLBShootdown, 1, 0)
+	}
 }
 
 // FlushAll clears both levels (full context switch).

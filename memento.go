@@ -10,11 +10,19 @@
 // bypass) — behind a small surface:
 //
 //	cfg := memento.DefaultConfig()
-//	base, mem, err := memento.Compare(cfg, "html", memento.Options{})
+//	r := memento.NewRunner(cfg)
+//	base, mem, err := r.Compare("html")
 //	fmt.Printf("speedup: %.2fx\n", memento.Speedup(base, mem))
 //
+// Runner is the primary entry point: functional options (WithStack,
+// WithColdStart, WithMallaccIdeal, WithMmapPopulate, WithProbe,
+// WithTimeline) select the stack and studies, attach telemetry probes, and
+// record cycle-attribution timelines. The positional Run/RunTrace/Compare
+// functions are deprecated wrappers kept for compatibility.
+//
 // Every table and figure of the paper's evaluation can be regenerated with
-// RunAllExperiments or the individual runners in Experiments().
+// RunAllExperiments; machine-readable artifacts come from ExportRuns,
+// ExportExperiments, and Suite.Export.
 package memento
 
 import (
@@ -77,35 +85,27 @@ func GenerateTrace(name string) (*Trace, error) {
 }
 
 // Run executes one named workload on one stack.
+//
+// Deprecated: use NewRunner with functional options, e.g.
+// NewRunner(cfg, WithStack(s)).Run(name). This wrapper returns results
+// identical to the Runner path.
 func Run(cfg Config, name string, opt Options) (Result, error) {
-	tr, err := GenerateTrace(name)
-	if err != nil {
-		return Result{}, err
-	}
-	m, err := machine.New(cfg)
-	if err != nil {
-		return Result{}, err
-	}
-	return m.Run(tr, opt)
+	return (&Runner{cfg: cfg, opt: opt}).Run(name)
 }
 
 // RunTrace executes an arbitrary trace on one stack.
+//
+// Deprecated: use NewRunner(cfg, ...).RunTrace(tr).
 func RunTrace(cfg Config, tr *Trace, opt Options) (Result, error) {
-	m, err := machine.New(cfg)
-	if err != nil {
-		return Result{}, err
-	}
-	return m.Run(tr, opt)
+	return (&Runner{cfg: cfg, opt: opt}).RunTrace(tr)
 }
 
 // Compare runs a named workload on both stacks with identical
 // configuration.
+//
+// Deprecated: use NewRunner(cfg, ...).Compare(name).
 func Compare(cfg Config, name string, opt Options) (base, mem Result, err error) {
-	tr, err := GenerateTrace(name)
-	if err != nil {
-		return base, mem, err
-	}
-	return machine.RunPair(cfg, tr, opt)
+	return (&Runner{cfg: cfg, opt: opt}).Compare(name)
 }
 
 // Speedup returns base cycles / memento cycles.
@@ -124,10 +124,8 @@ func NewSuite(cfg Config) *experiments.Suite { return experiments.NewSuite(cfg) 
 
 // RunMultiProcess time-shares one core among several traces (the §6.6
 // multi-process study).
+//
+// Deprecated: use NewRunner(cfg, ...).RunMultiProcess(traces, quantum).
 func RunMultiProcess(cfg Config, traces []*Trace, opt Options, quantumEvents int) ([]Result, error) {
-	m, err := machine.New(cfg)
-	if err != nil {
-		return nil, err
-	}
-	return m.RunMultiProcess(traces, opt, quantumEvents)
+	return (&Runner{cfg: cfg, opt: opt}).RunMultiProcess(traces, quantumEvents)
 }

@@ -1,0 +1,24 @@
+package memento
+
+import "testing"
+
+// The Nop-probe run must stay within a few percent of the probe-less run:
+// telemetry is sold as free when disabled and near-free when no-op.
+
+func BenchmarkRunNoProbe(b *testing.B) {
+	r := NewRunner(DefaultConfig())
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Run("html"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunNopProbe(b *testing.B) {
+	r := NewRunner(DefaultConfig(), WithProbe(NopProbe{}))
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Run("html"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
