@@ -48,7 +48,7 @@ func BenchmarkSweep(b *testing.B) {
 
 func BenchmarkFig2AllocationSizes(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		e := experiments.Fig2AllocationSizes()
+		e := experiments.Fig2AllocationSizes(experiments.NewSuite(config.Default()))
 		if len(e.Rows) != 5 {
 			b.Fatal("bad fig2")
 		}
@@ -57,7 +57,7 @@ func BenchmarkFig2AllocationSizes(b *testing.B) {
 
 func BenchmarkFig3Lifetimes(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		e := experiments.Fig3Lifetimes()
+		e := experiments.Fig3Lifetimes(experiments.NewSuite(config.Default()))
 		if len(e.Rows) != 5 {
 			b.Fatal("bad fig3")
 		}
@@ -66,7 +66,7 @@ func BenchmarkFig3Lifetimes(b *testing.B) {
 
 func BenchmarkTable1Joint(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		e := experiments.Table1Joint()
+		e := experiments.Table1Joint(experiments.NewSuite(config.Default()))
 		if len(e.Rows) != 2 {
 			b.Fatal("bad table1")
 		}
@@ -193,7 +193,7 @@ func BenchmarkTraceGeneration(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tr := workload.Generate(p)
-		if len(tr.Events) == 0 {
+		if tr.Len() == 0 {
 			b.Fatal("empty trace")
 		}
 	}

@@ -7,11 +7,13 @@ package main
 import (
 	"fmt"
 
+	"memento/internal/config"
 	"memento/internal/experiments"
 )
 
 func main() {
-	fmt.Println(experiments.Fig2AllocationSizes().Render())
-	fmt.Println(experiments.Fig3Lifetimes().Render())
-	fmt.Println(experiments.Table1Joint().Render())
+	s := experiments.NewSuite(config.Default())
+	fmt.Println(experiments.Fig2AllocationSizes(s).Render())
+	fmt.Println(experiments.Fig3Lifetimes(s).Render())
+	fmt.Println(experiments.Table1Joint(s).Render())
 }

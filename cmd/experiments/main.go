@@ -8,12 +8,14 @@
 //	experiments                 # all tables and figures (full sweep, ~1 min)
 //	experiments -only fig8      # a single experiment
 //	experiments -json all.json  # also export the printed experiments as JSON
+//	experiments -workers 4      # bound the sweep's parallel fan-out
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"memento"
@@ -22,9 +24,12 @@ import (
 func main() {
 	only := flag.String("only", "", "run a single experiment by id (fig2..fig14, table1..table3, sec6.1-iso, sec6.6-*, sec6.7-mallacc)")
 	jsonOut := flag.String("json", "", "write the printed experiments as a JSON array to FILE (- for stdout)")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel workers for the workload sweep")
 	flag.Parse()
 
-	exps, err := memento.RunAllExperiments(memento.DefaultConfig())
+	s := memento.NewSuite(memento.DefaultConfig())
+	s.Workers = *workers
+	exps, err := s.All()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)

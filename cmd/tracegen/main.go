@@ -44,6 +44,6 @@ func main() {
 	if *out != "" {
 		s := tr.Summarize()
 		fmt.Printf("wrote %s: %d events (%d allocs, %d frees, %d touches)\n",
-			*out, len(tr.Events), s.Allocs, s.Frees, s.Touches)
+			*out, tr.Len(), s.Allocs, s.Frees, s.Touches)
 	}
 }

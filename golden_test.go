@@ -1,0 +1,60 @@
+package memento
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"memento/internal/config"
+	"memento/internal/experiments"
+)
+
+// TestExperimentsGolden renders every experiment and diffs the output
+// against the committed experiments_output.txt, byte for byte. The golden
+// file is what `go run ./cmd/experiments` prints; any change to simulator
+// timing, trace generation, or table formatting shows up here first.
+//
+// Regenerate the golden after an intentional change with:
+//
+//	go run ./cmd/experiments > experiments_output.txt
+func TestExperimentsGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep; skipped in -short mode")
+	}
+	if raceEnabled {
+		// The sweep is race-exercised by the experiments package tests; the
+		// byte-for-byte diff adds only wall-clock under the race detector and
+		// would push the package past the test timeout on small CI runners.
+		t.Skip("full experiment sweep; skipped under the race detector")
+	}
+	want, err := os.ReadFile("experiments_output.txt")
+	if err != nil {
+		t.Fatalf("reading golden file: %v", err)
+	}
+	s := experiments.NewSuite(config.Default())
+	exps, err := s.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	for _, e := range exps {
+		sb.WriteString(e.Render())
+		sb.WriteByte('\n')
+	}
+	got := sb.String()
+	if got == string(want) {
+		return
+	}
+	gotLines := strings.Split(got, "\n")
+	wantLines := strings.Split(string(want), "\n")
+	n := len(gotLines)
+	if len(wantLines) < n {
+		n = len(wantLines)
+	}
+	for i := 0; i < n; i++ {
+		if gotLines[i] != wantLines[i] {
+			t.Fatalf("experiment output diverges from experiments_output.txt at line %d:\n got: %q\nwant: %q", i+1, gotLines[i], wantLines[i])
+		}
+	}
+	t.Fatalf("experiment output length diverges from experiments_output.txt: got %d lines, want %d", len(gotLines), len(wantLines))
+}

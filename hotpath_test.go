@@ -1,0 +1,135 @@
+// Hot-path microbenchmarks and allocation regression tests for the
+// simulator's innermost loops: cache lookups, TLB translation, DRAM access,
+// and whole-trace replay. The access paths are required to be allocation-free
+// — every simulated memory reference crosses them, so a single heap
+// allocation per access shows up as GC pressure across the whole sweep.
+package memento
+
+import (
+	"testing"
+
+	"memento/internal/cache"
+	"memento/internal/config"
+	"memento/internal/dram"
+	"memento/internal/machine"
+	"memento/internal/tlb"
+	"memento/internal/workload"
+)
+
+// fixedWalker is a Walker stub with a constant translation, isolating the
+// TLB data structures from the kernel page-table model.
+type fixedWalker struct{}
+
+func (fixedWalker) Walk(vpn uint64) (uint64, uint64, bool) { return vpn + 1, 120, true }
+
+// benchAddrs is a mix of strided and re-used line addresses, enough to hit
+// all three cache levels and miss to DRAM.
+func benchAddrs() []uint64 {
+	addrs := make([]uint64, 4096)
+	for i := range addrs {
+		// Two interleaved streams: a dense reuse window and a wide stride
+		// that spills the L1/L2 sets.
+		if i%4 == 0 {
+			addrs[i] = uint64(i%64) << config.LineShift
+		} else {
+			addrs[i] = uint64(i*97) << config.LineShift
+		}
+	}
+	return addrs
+}
+
+func BenchmarkCacheLookup(b *testing.B) {
+	c := cache.NewCache(config.Default().L1D)
+	addrs := benchAddrs()
+	for _, a := range addrs {
+		c.Insert(a>>config.LineShift, false)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Lookup(addrs[i%len(addrs)]>>config.LineShift, i%7 == 0)
+	}
+}
+
+func BenchmarkTLBTranslate(b *testing.B) {
+	s := tlb.NewSystem(config.Default())
+	var w tlb.Walker = fixedWalker{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, ok := s.Translate(uint64(i%512), w); !ok {
+			b.Fatal("translate failed")
+		}
+	}
+}
+
+func BenchmarkDRAMAccess(b *testing.B) {
+	d := dram.New(config.Default().DRAM)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Read(uint64(i) << config.LineShift)
+	}
+}
+
+// BenchmarkTraceReplay measures one full baseline replay of a representative
+// function trace on a fresh machine (generation excluded).
+func BenchmarkTraceReplay(b *testing.B) {
+	p, ok := workload.ByName("aes")
+	if !ok {
+		b.Fatal("no aes profile")
+	}
+	tr := workload.Generate(p)
+	cfg := config.Default()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := machine.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.Run(tr, machine.Options{Stack: machine.Baseline}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestAccessPathsZeroAlloc pins the allocation-free property of the
+// per-access hot paths: a cache hierarchy access (hit and miss), a TLB
+// translation (hit and walk), and a DRAM read/write.
+func TestAccessPathsZeroAlloc(t *testing.T) {
+	cfg := config.Default()
+
+	h := cache.NewHierarchy(cfg, dram.New(cfg.DRAM))
+	addrs := benchAddrs()
+	i := 0
+	if n := testing.AllocsPerRun(1000, func() {
+		h.Access(addrs[i%len(addrs)], i%3 == 0)
+		i++
+	}); n != 0 {
+		t.Errorf("Hierarchy.Access allocates %v bytes-equivalents per op, want 0", n)
+	}
+
+	s := tlb.NewSystem(cfg)
+	var w tlb.Walker = fixedWalker{}
+	j := uint64(0)
+	if n := testing.AllocsPerRun(1000, func() {
+		s.Translate(j%512, w)
+		j++
+	}); n != 0 {
+		t.Errorf("System.Translate allocates %v per op, want 0", n)
+	}
+
+	d := dram.New(cfg.DRAM)
+	k := uint64(0)
+	if n := testing.AllocsPerRun(1000, func() {
+		if k%4 == 0 {
+			d.Write(k << config.LineShift)
+		} else {
+			d.Read(k << config.LineShift)
+		}
+		k++
+	}); n != 0 {
+		t.Errorf("DRAM access allocates %v per op, want 0", n)
+	}
+}

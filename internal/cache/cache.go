@@ -12,20 +12,37 @@ import (
 	"memento/internal/telemetry"
 )
 
-// line is one cache line's bookkeeping.
+// line is one cache line's bookkeeping, packed to 16 bytes so a whole
+// 16-way set spans four cache lines of host memory instead of six. The tag
+// word carries the valid and dirty flags in its top bits; tags are line
+// addresses shifted down by the set bits, far below 62 bits.
 type line struct {
-	tag   uint64
-	valid bool
-	dirty bool
+	// tagw is tag | validBit | dirtyBit.
+	tagw uint64
 	// lru is a per-set sequence number; the smallest is the LRU victim.
 	lru uint64
 }
 
-// Cache is one set-associative cache level.
+const (
+	validBit = 1 << 63
+	dirtyBit = 1 << 62
+	tagMask  = dirtyBit - 1
+)
+
+// Cache is one set-associative cache level. Set storage is one flat,
+// set-major slice (set s occupies lines[s*ways : (s+1)*ways]) so a probe
+// costs a single bounds-checked slice, not a pointer chase per set, and the
+// set shift is precomputed instead of re-derived per lookup.
 type Cache struct {
-	cfg     config.CacheConfig
-	sets    [][]line
+	cfg   config.CacheConfig
+	lines []line
+	ways  int
+	// mru[s] is the way index of set s's most-recently-used line; it is the
+	// first way probed on Lookup, the common hit for the streaming access
+	// patterns the simulator replays.
+	mru     []int32
 	setMask uint64
+	shift   uint
 	tick    uint64
 	// Stats
 	hits, misses uint64
@@ -37,40 +54,52 @@ func NewCache(cfg config.CacheConfig) *Cache {
 		panic(err)
 	}
 	n := cfg.Sets()
-	sets := make([][]line, n)
-	for i := range sets {
-		sets[i] = make([]line, cfg.Ways)
+	return &Cache{
+		cfg:     cfg,
+		lines:   make([]line, n*cfg.Ways),
+		ways:    cfg.Ways,
+		mru:     make([]int32, n),
+		setMask: uint64(n - 1),
+		shift:   uint(config.Log2(n)),
 	}
-	return &Cache{cfg: cfg, sets: sets, setMask: uint64(n - 1)}
 }
 
 // indexTag splits a line address (pa >> LineShift) into set index and tag.
 func (c *Cache) indexTag(lineAddr uint64) (set uint64, tag uint64) {
-	return lineAddr & c.setMask, lineAddr >> uint(setBits(len(c.sets)))
+	return lineAddr & c.setMask, lineAddr >> c.shift
 }
 
-func setBits(n int) int {
-	b := 0
-	for n > 1 {
-		n >>= 1
-		b++
-	}
-	return b
+// setOf returns set s's ways as a window into the flat storage.
+func (c *Cache) setOf(set uint64) []line {
+	base := int(set) * c.ways
+	return c.lines[base : base+c.ways]
 }
 
 // Lookup probes for the line, updating LRU on a hit. If write is set and the
 // line hits, it is marked dirty.
 func (c *Cache) Lookup(lineAddr uint64, write bool) bool {
 	set, tag := c.indexTag(lineAddr)
-	ways := c.sets[set]
+	ways := c.setOf(set)
+	want := tag | validBit
+	// MRU fast path: skip the way scan when the last-used way hits again.
+	if w := &ways[c.mru[set]]; w.tagw&^dirtyBit == want {
+		c.tick++
+		w.lru = c.tick
+		if write {
+			w.tagw |= dirtyBit
+		}
+		c.hits++
+		return true
+	}
 	for i := range ways {
-		if ways[i].valid && ways[i].tag == tag {
+		if ways[i].tagw&^dirtyBit == want {
 			c.tick++
 			ways[i].lru = c.tick
 			if write {
-				ways[i].dirty = true
+				ways[i].tagw |= dirtyBit
 			}
 			c.hits++
+			c.mru[set] = int32(i)
 			return true
 		}
 	}
@@ -81,8 +110,9 @@ func (c *Cache) Lookup(lineAddr uint64, write bool) bool {
 // Contains probes without touching LRU or statistics.
 func (c *Cache) Contains(lineAddr uint64) bool {
 	set, tag := c.indexTag(lineAddr)
-	for _, w := range c.sets[set] {
-		if w.valid && w.tag == tag {
+	want := tag | validBit
+	for _, w := range c.setOf(set) {
+		if w.tagw&^dirtyBit == want {
 			return true
 		}
 	}
@@ -93,43 +123,60 @@ func (c *Cache) Contains(lineAddr uint64) bool {
 // It returns the evicted line address and whether the victim was dirty.
 func (c *Cache) Insert(lineAddr uint64, dirty bool) (victim uint64, victimDirty, evicted bool) {
 	set, tag := c.indexTag(lineAddr)
-	ways := c.sets[set]
+	ways := c.setOf(set)
 	c.tick++
-	// Prefer an existing copy (refresh), then an invalid way, else LRU.
-	vi, lru := -1, ^uint64(0)
+	want := tag | validBit
+	// Prefer an existing copy (refresh), then the first invalid way, else LRU.
+	inv := -1
+	li, lru := 0, ^uint64(0)
 	for i := range ways {
-		if ways[i].valid && ways[i].tag == tag {
-			ways[i].lru = c.tick
-			ways[i].dirty = ways[i].dirty || dirty
+		w := &ways[i]
+		if w.tagw&^dirtyBit == want {
+			w.lru = c.tick
+			if dirty {
+				w.tagw |= dirtyBit
+			}
+			c.mru[set] = int32(i)
 			return 0, false, false
 		}
-		if !ways[i].valid {
-			if vi == -1 || ways[vi].valid {
-				vi, lru = i, 0
+		if w.tagw&validBit == 0 {
+			if inv < 0 {
+				inv = i
 			}
 			continue
 		}
-		if ways[i].lru < lru && (vi == -1 || ways[vi].valid) {
-			vi, lru = i, ways[i].lru
+		if w.lru < lru {
+			li, lru = i, w.lru
 		}
 	}
+	vi := inv
+	if vi < 0 {
+		vi = li
+	}
 	w := &ways[vi]
-	if w.valid {
-		victim = (w.tag << uint(setBits(len(c.sets)))) | set
-		victimDirty = w.dirty
+	if w.tagw&validBit != 0 {
+		victim = ((w.tagw & tagMask) << c.shift) | set
+		victimDirty = w.tagw&dirtyBit != 0
 		evicted = true
 	}
-	*w = line{tag: tag, valid: true, dirty: dirty, lru: c.tick}
+	tagw := want
+	if dirty {
+		tagw |= dirtyBit
+	}
+	*w = line{tagw: tagw, lru: c.tick}
+	c.mru[set] = int32(vi)
 	return victim, victimDirty, evicted
 }
 
 // Invalidate drops the line if present, returning whether it was dirty.
+// A stale mru entry is harmless: the fast path re-checks validity and tag.
 func (c *Cache) Invalidate(lineAddr uint64) (wasDirty, wasPresent bool) {
 	set, tag := c.indexTag(lineAddr)
-	ways := c.sets[set]
+	ways := c.setOf(set)
+	want := tag | validBit
 	for i := range ways {
-		if ways[i].valid && ways[i].tag == tag {
-			d := ways[i].dirty
+		if ways[i].tagw&^dirtyBit == want {
+			d := ways[i].tagw&dirtyBit != 0
 			ways[i] = line{}
 			return d, true
 		}
@@ -190,12 +237,18 @@ type Hierarchy struct {
 
 	l1Lat, l2Lat, llcLat uint64
 	stats                Stats
-	// probe, when non-nil, observes bypass fills and writebacks.
-	probe telemetry.Probe
+	// probe, when non-nil, observes bypass fills and writebacks. probed
+	// caches the attachment state so the access paths test one byte instead
+	// of an interface against nil.
+	probe  telemetry.Probe
+	probed bool
 }
 
 // SetProbe attaches a telemetry probe (nil detaches).
-func (h *Hierarchy) SetProbe(p telemetry.Probe) { h.probe = p }
+func (h *Hierarchy) SetProbe(p telemetry.Probe) {
+	h.probe = p
+	h.probed = p != nil
+}
 
 // NewHierarchy wires the three levels to a DRAM model.
 func NewHierarchy(m config.Machine, mem *dram.DRAM) *Hierarchy {
@@ -259,7 +312,7 @@ func (h *Hierarchy) InstallZero(pa uint64, write bool) uint64 {
 	h.stats.BypassFills++
 	h.stats.DRAMFillsAvoided++
 	cycles := h.l1Lat + h.l2Lat + h.llcLat
-	if h.probe != nil {
+	if h.probed {
 		h.probe.Count(telemetry.CtrCacheBypassFill, 1, cycles)
 	}
 	// The line is dirty at the LLC: its zeroed contents exist nowhere in
@@ -288,7 +341,7 @@ func (h *Hierarchy) FlushLine(pa uint64) uint64 {
 	if dirty {
 		cycles += h.Mem.Write(la << config.LineShift)
 		h.stats.Writebacks++
-		if h.probe != nil {
+		if h.probed {
 			h.probe.Count(telemetry.CtrCacheWriteback, 1, cycles)
 		}
 	}
@@ -338,7 +391,7 @@ func (h *Hierarchy) insertLLC(la uint64, dirty bool) {
 	if v, d, ok := h.LLC.Insert(la, dirty); ok && d {
 		h.Mem.Write(v << config.LineShift)
 		h.stats.Writebacks++
-		if h.probe != nil {
+		if h.probed {
 			// The eviction writeback is off the critical path (posted).
 			h.probe.Count(telemetry.CtrCacheWriteback, 1, 0)
 		}

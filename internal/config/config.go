@@ -8,7 +8,10 @@
 // documented at its declaration so the cost model is fully auditable.
 package config
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Common architectural constants.
 const (
@@ -23,6 +26,18 @@ const (
 	// WordSize is the machine word size in bytes.
 	WordSize = 8
 )
+
+// FloorPow2 returns the largest power of two <= n. It is the set-count
+// rounding rule shared by the cache and TLB models; n must be >= 1.
+func FloorPow2(n int) int {
+	return 1 << (bits.Len(uint(n)) - 1)
+}
+
+// Log2 returns log2(n) for a power-of-two n, the index shift implied by a
+// power-of-two set count.
+func Log2(n int) int {
+	return bits.TrailingZeros(uint(n))
+}
 
 // CacheConfig describes one level of a set-associative cache.
 type CacheConfig struct {

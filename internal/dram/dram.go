@@ -66,12 +66,25 @@ type DRAM struct {
 	bankStreak  uint64
 	stats       Stats
 	rowsPerBank uint64
+	// pow2 geometry fast path: when RowBytes and Banks are both powers of
+	// two (the Table 3 defaults are), address decoding is two shifts and a
+	// mask instead of three integer divisions per access.
+	pow2      bool
+	rowShift  uint
+	bankMask  uint64
+	bankShift uint
 	// probe, when non-nil, is notified of every access (observation only).
-	probe telemetry.Probe
+	// probed caches the attachment state so the per-access hot path tests
+	// one byte instead of an interface against nil.
+	probe  telemetry.Probe
+	probed bool
 }
 
 // SetProbe attaches a telemetry probe (nil detaches).
-func (d *DRAM) SetProbe(p telemetry.Probe) { d.probe = p }
+func (d *DRAM) SetProbe(p telemetry.Probe) {
+	d.probe = p
+	d.probed = p != nil
+}
 
 // New creates a DRAM model from configuration.
 func New(cfg config.DRAMConfig) *DRAM {
@@ -86,13 +99,25 @@ func New(cfg config.DRAMConfig) *DRAM {
 	for i := range d.openRow {
 		d.openRow[i] = -1
 	}
+	if isPow2(cfg.RowBytes) && isPow2(cfg.Banks) {
+		d.pow2 = true
+		d.rowShift = uint(config.Log2(cfg.RowBytes))
+		d.bankMask = uint64(cfg.Banks - 1)
+		d.bankShift = uint(config.Log2(cfg.Banks))
+	}
 	return d
 }
+
+func isPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
 
 // bankAndRow decodes the physical address using row-interleaved banking:
 // consecutive rows map to consecutive banks, which is what commodity
 // controllers do to spread streams.
 func (d *DRAM) bankAndRow(pa uint64) (bank int, row int64) {
+	if d.pow2 {
+		rowIdx := pa >> d.rowShift
+		return int(rowIdx & d.bankMask), int64(rowIdx >> d.bankShift)
+	}
 	rowIdx := pa / uint64(d.cfg.RowBytes)
 	bank = int(rowIdx % uint64(d.cfg.Banks))
 	row = int64(rowIdx / uint64(d.cfg.Banks))
@@ -127,7 +152,7 @@ func (d *DRAM) Read(pa uint64) uint64 {
 	lat := d.access(pa)
 	d.stats.Reads++
 	d.stats.ReadBytes += config.LineSize
-	if d.probe != nil {
+	if d.probed {
 		d.probe.Count(telemetry.CtrDRAMRead, 1, lat)
 	}
 	return lat
@@ -141,7 +166,7 @@ func (d *DRAM) Write(pa uint64) uint64 {
 	d.stats.Writes++
 	d.stats.WriteBytes += config.LineSize
 	lat /= 4 // posted write: mostly off the critical path
-	if d.probe != nil {
+	if d.probed {
 		d.probe.Count(telemetry.CtrDRAMWrite, 1, lat)
 	}
 	return lat

@@ -21,15 +21,15 @@ var ablationWorkloads = []string{"html", "UM", "html-go"}
 
 // runMementoVariant runs the subset on a Memento stack with a mutated
 // configuration and returns the mean speedup over the (unmutated) baseline.
-func runMementoVariant(base config.Machine, mutate func(*config.Machine)) (float64, []machine.Result, error) {
-	cfg := base
+func runMementoVariant(s *Suite, mutate func(*config.Machine)) (float64, []machine.Result, error) {
+	cfg := s.Cfg
 	mutate(&cfg)
 	var speeds []float64
 	var results []machine.Result
 	for _, name := range ablationWorkloads {
 		p, _ := workload.ByName(name)
-		tr := workload.Generate(p)
-		mb, err := machine.New(base)
+		tr := s.genTrace(p)
+		mb, err := machine.New(s.Cfg)
 		if err != nil {
 			return 0, nil, err
 		}
@@ -63,7 +63,7 @@ func AblationEagerPrefetch(s *Suite) (Experiment, error) {
 		label string
 		on    bool
 	}{{"prefetch on (default)", true}, {"prefetch off", false}} {
-		sp, results, err := runMementoVariant(s.Cfg, func(c *config.Machine) { c.Memento.EagerArenaPrefetch = v.on })
+		sp, results, err := runMementoVariant(s, func(c *config.Machine) { c.Memento.EagerArenaPrefetch = v.on })
 		if err != nil {
 			return e, err
 		}
@@ -89,7 +89,7 @@ func AblationBypass(s *Suite) (Experiment, error) {
 		label string
 		on    bool
 	}{{"bypass on (default)", true}, {"bypass off", false}} {
-		sp, results, err := runMementoVariant(s.Cfg, func(c *config.Machine) { c.Memento.BypassEnabled = v.on })
+		sp, results, err := runMementoVariant(s, func(c *config.Machine) { c.Memento.BypassEnabled = v.on })
 		if err != nil {
 			return e, err
 		}
@@ -112,7 +112,7 @@ func AblationHOTLatency(s *Suite) (Experiment, error) {
 		Header: []string{"HOT latency", "mean speedup"},
 	}
 	for _, lat := range []uint64{1, 2, 4, 8, 16} {
-		sp, _, err := runMementoVariant(s.Cfg, func(c *config.Machine) { c.Memento.HOT.LatencyCycles = lat })
+		sp, _, err := runMementoVariant(s, func(c *config.Machine) { c.Memento.HOT.LatencyCycles = lat })
 		if err != nil {
 			return e, err
 		}
@@ -130,7 +130,7 @@ func AblationPoolSize(s *Suite) (Experiment, error) {
 		Header: []string{"pool pages", "mean speedup"},
 	}
 	for _, pool := range []int{256, 1024, 4096} {
-		sp, _, err := runMementoVariant(s.Cfg, func(c *config.Machine) {
+		sp, _, err := runMementoVariant(s, func(c *config.Machine) {
 			c.Memento.PagePoolPages = pool
 			c.Memento.PagePoolRefillPages = pool / 4
 		})
@@ -152,7 +152,7 @@ func AblationAACSize(s *Suite) (Experiment, error) {
 		Header: []string{"AAC entries", "mean speedup", "mean AAC hit rate"},
 	}
 	for _, entries := range []int{8, 16, 32, 64} {
-		sp, results, err := runMementoVariant(s.Cfg, func(c *config.Machine) { c.Memento.AAC.Entries = entries })
+		sp, results, err := runMementoVariant(s, func(c *config.Machine) { c.Memento.AAC.Entries = entries })
 		if err != nil {
 			return e, err
 		}

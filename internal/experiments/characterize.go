@@ -29,12 +29,13 @@ func langGroups() []struct {
 // sizeHistogramFor aggregates a Fig 2 histogram, normalizing each
 // workload's contribution as the paper does ("we normalize the number of
 // allocations of each function, then we aggregate across functions").
-func sizeHistogramFor(profs []workload.Profile) *stats.Histogram {
+func sizeHistogramFor(s *Suite, profs []workload.Profile) *stats.Histogram {
 	agg := stats.NewLinearHistogram("sizes", 512, 8)
 	for _, p := range profs {
 		h := stats.NewLinearHistogram(p.Name, 512, 8)
-		tr := workload.Generate(p)
-		for _, e := range tr.Events {
+		tr := s.genTrace(p)
+		for i := 0; i < tr.Len(); i++ {
+			e := tr.At(i)
 			if e.Kind == trace.KindAlloc {
 				h.Add(int64(e.Size))
 			}
@@ -55,7 +56,7 @@ func sizeHistogramFor(profs []workload.Profile) *stats.Histogram {
 
 // Fig2AllocationSizes reproduces Fig 2: the allocation size distribution
 // in 512-byte bins per language group.
-func Fig2AllocationSizes() Experiment {
+func Fig2AllocationSizes(s *Suite) Experiment {
 	e := Experiment{
 		ID:     "fig2",
 		Title:  "Allocation size distribution (bytes)",
@@ -64,7 +65,7 @@ func Fig2AllocationSizes() Experiment {
 	}
 	var funcSmall []float64
 	for _, g := range langGroups() {
-		h := sizeHistogramFor(g.Profs)
+		h := sizeHistogramFor(s, g.Profs)
 		row := []string{g.Label}
 		for i := 0; i < 8; i++ {
 			row = append(row, pct(h.Fraction(i)))
@@ -91,15 +92,16 @@ var lifetimeBins = []int64{16, 32, 48, 64, 80, 96, 112, 128, 144, 160, 176, 192,
 // distance exactly as Section 2.2: same-size-class allocations between
 // malloc and free, with never-freed objects in the overflow (long-lived)
 // bin.
-func lifetimeHistogramFor(profs []workload.Profile) *stats.Histogram {
+func lifetimeHistogramFor(s *Suite, profs []workload.Profile) *stats.Histogram {
 	agg := stats.NewHistogram("lifetime", lifetimeBins)
 	for _, p := range profs {
 		h := stats.NewHistogram(p.Name, lifetimeBins)
-		tr := workload.Generate(p)
+		tr := s.genTrace(p)
 		classCount := map[uint64]uint64{}
 		bornAt := map[int]uint64{}
 		classOf := map[int]uint64{}
-		for _, e := range tr.Events {
+		for i := 0; i < tr.Len(); i++ {
+			e := tr.At(i)
 			switch e.Kind {
 			case trace.KindAlloc:
 				cls := (e.Size + 7) / 8
@@ -127,7 +129,7 @@ func lifetimeHistogramFor(profs []workload.Profile) *stats.Histogram {
 }
 
 // Fig3Lifetimes reproduces Fig 3: the malloc-free distance distribution.
-func Fig3Lifetimes() Experiment {
+func Fig3Lifetimes(s *Suite) Experiment {
 	e := Experiment{
 		ID:     "fig3",
 		Title:  "Allocation lifetime (malloc-free distance, same-size-class allocations)",
@@ -136,7 +138,7 @@ func Fig3Lifetimes() Experiment {
 	}
 	var funcShort []float64
 	for _, g := range langGroups() {
-		h := lifetimeHistogramFor(g.Profs)
+		h := lifetimeHistogramFor(s, g.Profs)
 		var mid49to256 float64
 		for i := 3; i < h.Bins(); i++ {
 			mid49to256 += h.Fraction(i)
@@ -158,7 +160,7 @@ func Fig3Lifetimes() Experiment {
 
 // Table1Joint reproduces Table 1: the joint size x lifetime distribution
 // over function workloads.
-func Table1Joint() Experiment {
+func Table1Joint(s *Suite) Experiment {
 	e := Experiment{
 		ID:     "table1",
 		Title:  "Combined distribution of size and lifetime (functions)",
@@ -167,13 +169,14 @@ func Table1Joint() Experiment {
 	}
 	var smallShort, smallLong, largeShort, largeLong, total float64
 	for _, p := range workload.ByClass(workload.Function) {
-		tr := workload.Generate(p)
+		tr := s.genTrace(p)
 		classCount := map[uint64]uint64{}
 		bornAt := map[int]uint64{}
 		classOf := map[int]uint64{}
 		sizeOf := map[int]uint64{}
 		var ss, sl, ls, ll, n float64
-		for _, ev := range tr.Events {
+		for i := 0; i < tr.Len(); i++ {
+			ev := tr.At(i)
 			switch ev.Kind {
 			case trace.KindAlloc:
 				cls := (ev.Size + 7) / 8

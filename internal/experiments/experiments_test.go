@@ -14,7 +14,7 @@ import (
 var sharedSuite = NewSuite(config.Default())
 
 func TestFig2(t *testing.T) {
-	e := Fig2AllocationSizes()
+	e := Fig2AllocationSizes(sharedSuite)
 	if len(e.Rows) != 5 {
 		t.Fatalf("rows = %d, want 5 groups", len(e.Rows))
 	}
@@ -47,7 +47,7 @@ func fmtSscan(s string, f *float64) (int, error) {
 }
 
 func TestFig3(t *testing.T) {
-	e := Fig3Lifetimes()
+	e := Fig3Lifetimes(sharedSuite)
 	if len(e.Rows) != 5 {
 		t.Fatalf("rows = %d", len(e.Rows))
 	}
@@ -67,7 +67,7 @@ func TestFig3(t *testing.T) {
 }
 
 func TestTable1(t *testing.T) {
-	e := Table1Joint()
+	e := Table1Joint(sharedSuite)
 	var ss, sl, ls, ll float64
 	parsePct(e.Rows[0][1], &ss)
 	parsePct(e.Rows[1][1], &sl)
@@ -172,7 +172,7 @@ func TestFig8AndFriends(t *testing.T) {
 }
 
 func TestRenderContainsPaperLine(t *testing.T) {
-	e := Table1Joint()
+	e := Table1Joint(sharedSuite)
 	out := e.Render()
 	if !strings.Contains(out, "paper:") || !strings.Contains(out, "TABLE1") {
 		t.Fatalf("render missing metadata:\n%s", out)

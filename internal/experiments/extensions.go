@@ -30,7 +30,7 @@ func ExtensionEphemeralGC(s *Suite) (Experiment, error) {
 	}
 	var std, eph []float64
 	for _, prof := range workload.ByClass(workload.Platform) {
-		trStd := workload.Generate(prof)
+		trStd := s.genTrace(prof)
 		trEph := workload.GenerateEphemeralAware(prof)
 
 		base, memStd, err := machine.RunPair(s.Cfg, trStd, machine.Options{})

@@ -24,7 +24,7 @@ func IsoStorage(s *Suite) (Experiment, error) {
 		Header: []string{"configuration", "speedup over baseline"},
 	}
 	p, _ := workload.ByName("html")
-	tr := workload.Generate(p)
+	tr := s.genTrace(p)
 
 	base, mem, err := machine.RunPair(s.Cfg, tr, machine.Options{})
 	if err != nil {
@@ -68,7 +68,7 @@ func SensitivityPopulate(s *Suite) (Experiment, error) {
 	for _, g := range groups {
 		var speed, foot []float64
 		for _, p := range g.profs {
-			tr := workload.Generate(p)
+			tr := s.genTrace(p)
 			mLazy, err := machine.New(s.Cfg)
 			if err != nil {
 				return e, err
@@ -148,7 +148,7 @@ func SensitivityArenaSize(s *Suite) (Experiment, error) {
 		Header: []string{"chunk size", "memento speedup"},
 	}
 	p, _ := workload.ByName("UM")
-	tr := workload.Generate(p)
+	tr := s.genTrace(p)
 	var speeds []float64
 	for _, chunk := range []uint64{256 << 10, 1 << 20, 4 << 20} {
 		opts := softalloc.DefaultJEMallocOpts()
@@ -236,7 +236,7 @@ func MallaccComparison(s *Suite) (Experiment, error) {
 	}
 	var ms, mems []float64
 	for _, prof := range workload.ByLanguage(workload.Function, trace.Cpp) {
-		c, err := mallacc.Run(s.Cfg, workload.Generate(prof))
+		c, err := mallacc.Run(s.Cfg, s.genTrace(prof))
 		if err != nil {
 			return e, err
 		}
@@ -256,7 +256,7 @@ func All(cfg config.Machine) ([]Experiment, error) {
 // All runs every experiment in the paper's order on this suite, reusing
 // its cached workload sweep.
 func (s *Suite) All() ([]Experiment, error) {
-	out := []Experiment{Fig2AllocationSizes(), Fig3Lifetimes(), Table1Joint()}
+	out := []Experiment{Fig2AllocationSizes(s), Fig3Lifetimes(s), Table1Joint(s)}
 	type runner func(*Suite) (Experiment, error)
 	for _, r := range []runner{
 		Table2Breakdown, Fig8Speedup, Fig9Breakdown, Fig10Bandwidth, Fig11Memory,

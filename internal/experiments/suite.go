@@ -34,15 +34,47 @@ func (p Pair) Speedup() float64 { return machine.Speedup(p.Base, p.Mem) }
 
 // Suite runs and caches all workloads on all stacks.
 type Suite struct {
-	Cfg   config.Machine
+	Cfg config.Machine
+	// Workers bounds the sweep's parallel fan-out. Zero or negative selects
+	// runtime.GOMAXPROCS(0), the scheduler's actual parallelism budget.
+	Workers int
+
 	once  sync.Once
 	pairs map[string]*Pair
 	err   error
+	// traces memoizes generated traces by profile name: every stack and
+	// every sensitivity study replays the same deterministic trace, so one
+	// generation per profile serves the whole suite. Replay never mutates a
+	// Trace, which is what makes the sharing sound.
+	traces sync.Map
 }
 
 // NewSuite creates a suite over the given machine configuration.
 func NewSuite(cfg config.Machine) *Suite {
 	return &Suite{Cfg: cfg}
+}
+
+// genTrace returns the memoized trace for a canonical (unmodified) profile.
+// Experiments that mutate a profile before generating must call
+// workload.Generate directly — the cache is keyed by name only.
+func (s *Suite) genTrace(p workload.Profile) *trace.Trace {
+	if v, ok := s.traces.Load(p.Name); ok {
+		return v.(*trace.Trace)
+	}
+	v, _ := s.traces.LoadOrStore(p.Name, workload.Generate(p))
+	return v.(*trace.Trace)
+}
+
+// workerCount resolves the effective fan-out for n jobs.
+func (s *Suite) workerCount(n int) int {
+	w := s.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	return w
 }
 
 // Pairs runs (once) every workload on baseline, Memento, and
@@ -60,16 +92,13 @@ func (s *Suite) Pairs() (map[string]*Pair, error) {
 		var mu sync.Mutex
 		var errs []error
 		var wg sync.WaitGroup
-		workers := runtime.NumCPU()
-		if workers > len(profiles) {
-			workers = len(profiles)
-		}
+		workers := s.workerCount(len(profiles))
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
 				for j := range jobs {
-					tr := workload.Generate(j.prof)
+					tr := s.genTrace(j.prof)
 					base, mem, err := machine.RunPair(s.Cfg, tr, machine.Options{})
 					if err != nil {
 						mu.Lock()

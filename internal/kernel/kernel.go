@@ -100,12 +100,17 @@ type Kernel struct {
 	// forcePopulate applies MAP_POPULATE to every mmap (the Section 6.6
 	// sensitivity study).
 	forcePopulate bool
-	// probe, when non-nil, observes syscalls and page faults.
-	probe telemetry.Probe
+	// probe, when non-nil, observes syscalls and page faults. probed caches
+	// the attachment state so hot paths test one byte, not an interface.
+	probe  telemetry.Probe
+	probed bool
 }
 
 // SetProbe attaches a telemetry probe (nil detaches).
-func (k *Kernel) SetProbe(p telemetry.Probe) { k.probe = p }
+func (k *Kernel) SetProbe(p telemetry.Probe) {
+	k.probe = p
+	k.probed = p != nil
+}
 
 // SetForcePopulate toggles eager population of all mappings (§6.6).
 func (k *Kernel) SetForcePopulate(v bool) { k.forcePopulate = v }
@@ -205,7 +210,7 @@ func (k *Kernel) Mmap(as *AddressSpace, length uint64, populate bool) (va uint64
 		}
 	}
 	k.stats.SyscallCycles += cycles
-	if k.probe != nil {
+	if k.probed {
 		k.probe.Count(telemetry.CtrMmap, 1, cycles)
 	}
 	return start << config.PageShift, cycles, nil
@@ -276,7 +281,7 @@ func (k *Kernel) Munmap(as *AddressSpace, va, length uint64) (cycles uint64, err
 	as.vmas = append(as.vmas[:i], as.vmas[i+1:]...)
 	k.stats.Munmaps++
 	k.stats.SyscallCycles += cycles
-	if k.probe != nil {
+	if k.probed {
 		k.probe.Count(telemetry.CtrMunmap, 1, cycles)
 	}
 	return cycles, nil
@@ -322,7 +327,7 @@ func (as *AddressSpace) Walk(vpn uint64) (pfn uint64, cycles uint64, ok bool) {
 	k.stats.PageFaults++
 	k.stats.FaultCycles += faultCycles
 	cycles += faultCycles
-	if k.probe != nil {
+	if k.probed {
 		k.probe.Count(telemetry.CtrPageFault, 1, faultCycles)
 	}
 	// Re-walk is folded into the install cost (the handler returns the PFN).

@@ -126,15 +126,15 @@ func TestLanguageAllocatorSelection(t *testing.T) {
 	}{{trace.Python, false}, {trace.Cpp, false}, {trace.Golang, false}}
 	for _, c := range cases {
 		m, _ := New(config.Default())
-		tr := &trace.Trace{Name: "sel", Lang: c.lang, Objects: 1,
-			Events: []trace.Event{{Kind: trace.KindAlloc, Obj: 0, Size: 64}}}
+		tr := &trace.Trace{Name: "sel", Lang: c.lang, Objects: 1}
+		tr.Append(trace.Event{Kind: trace.KindAlloc, Obj: 0, Size: 64})
 		if _, err := m.Run(tr, Options{Stack: Baseline}); err != nil {
 			t.Fatalf("%v: %v", c.lang, err)
 		}
 	}
 	m, _ := New(config.Default())
-	bad := &trace.Trace{Name: "bad", Lang: trace.Language(99), Objects: 1,
-		Events: []trace.Event{{Kind: trace.KindAlloc, Obj: 0, Size: 64}}}
+	bad := &trace.Trace{Name: "bad", Lang: trace.Language(99), Objects: 1}
+	bad.Append(trace.Event{Kind: trace.KindAlloc, Obj: 0, Size: 64})
 	if _, err := m.Run(bad, Options{Stack: Baseline}); err == nil {
 		t.Fatal("unknown language must be rejected")
 	}
@@ -144,11 +144,11 @@ func TestLanguageAllocatorSelection(t *testing.T) {
 // object's allocated size.
 func TestTouchZeroBytesTouchesWholeObject(t *testing.T) {
 	m, _ := New(config.Default())
-	tr := &trace.Trace{Name: "touch", Lang: trace.Python, Objects: 1,
-		Events: []trace.Event{
-			{Kind: trace.KindAlloc, Obj: 0, Size: 512},
-			{Kind: trace.KindTouch, Obj: 0}, // Bytes 0 -> whole object
-		}}
+	tr := &trace.Trace{Name: "touch", Lang: trace.Python, Objects: 1}
+	tr.SetEvents([]trace.Event{
+		{Kind: trace.KindAlloc, Obj: 0, Size: 512},
+		{Kind: trace.KindTouch, Obj: 0}, // Bytes 0 -> whole object
+	})
 	r, err := m.Run(tr, Options{Stack: Baseline})
 	if err != nil {
 		t.Fatal(err)
@@ -169,7 +169,8 @@ func TestEphemeralAwareTraceValidates(t *testing.T) {
 	}
 	countPromptFrees := func(tr *trace.Trace) (prompt int) {
 		afterGC := false
-		for _, e := range tr.Events {
+		for i := 0; i < tr.Len(); i++ {
+			e := tr.At(i)
 			switch e.Kind {
 			case trace.KindGC:
 				afterGC = true

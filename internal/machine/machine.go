@@ -183,7 +183,9 @@ func (m *Machine) Run(tr *trace.Trace, opt Options) (Result, error) {
 	if err := p.finish(); err != nil {
 		return Result{}, err
 	}
-	return p.result(), nil
+	r := p.result()
+	p.release()
+	return r, nil
 }
 
 // RunPair runs the same trace on a fresh baseline machine and a fresh

@@ -11,7 +11,7 @@ import (
 // microTrace is a tiny hand-built workload.
 func microTrace(lang trace.Language) *trace.Trace {
 	tr := &trace.Trace{Name: "micro", Lang: lang, Objects: 3}
-	tr.Events = []trace.Event{
+	tr.SetEvents([]trace.Event{
 		{Kind: trace.KindAlloc, Obj: 0, Size: 64},
 		{Kind: trace.KindTouch, Obj: 0, Bytes: 64, Write: true},
 		{Kind: trace.KindCompute, Cycles: 1000},
@@ -21,7 +21,7 @@ func microTrace(lang trace.Language) *trace.Trace {
 		{Kind: trace.KindAlloc, Obj: 2, Size: 64},
 		{Kind: trace.KindTouch, Obj: 2, Write: false},
 		{Kind: trace.KindFree, Obj: 1},
-	}
+	})
 	return tr
 }
 
@@ -81,9 +81,8 @@ func TestMementoAvoidsKernelFaultsForSmall(t *testing.T) {
 	m, _ := New(config.Default())
 	tr := &trace.Trace{Name: "small-only", Lang: trace.Python, Objects: 100}
 	for i := 0; i < 100; i++ {
-		tr.Events = append(tr.Events,
-			trace.Event{Kind: trace.KindAlloc, Obj: i, Size: 128},
-			trace.Event{Kind: trace.KindTouch, Obj: i, Bytes: 128, Write: true})
+		tr.Append(trace.Event{Kind: trace.KindAlloc, Obj: i, Size: 128})
+		tr.Append(trace.Event{Kind: trace.KindTouch, Obj: i, Bytes: 128, Write: true})
 	}
 	r, err := m.Run(tr, Options{Stack: Memento})
 	if err != nil {
@@ -125,11 +124,11 @@ func TestGCEventCharged(t *testing.T) {
 	m, _ := New(config.Default())
 	tr := &trace.Trace{Name: "gc", Lang: trace.Golang, Objects: 10}
 	for i := 0; i < 10; i++ {
-		tr.Events = append(tr.Events, trace.Event{Kind: trace.KindAlloc, Obj: i, Size: 64})
+		tr.Append(trace.Event{Kind: trace.KindAlloc, Obj: i, Size: 64})
 	}
-	tr.Events = append(tr.Events, trace.Event{Kind: trace.KindGC})
+	tr.Append(trace.Event{Kind: trace.KindGC})
 	for i := 0; i < 5; i++ {
-		tr.Events = append(tr.Events, trace.Event{Kind: trace.KindFree, Obj: i})
+		tr.Append(trace.Event{Kind: trace.KindFree, Obj: i})
 	}
 	r, err := m.Run(tr, Options{Stack: Baseline})
 	if err != nil {
@@ -143,11 +142,11 @@ func TestGCEventCharged(t *testing.T) {
 func TestContextSwitchFlushesHOT(t *testing.T) {
 	m, _ := New(config.Default())
 	tr := &trace.Trace{Name: "cs", Lang: trace.Python, Objects: 2}
-	tr.Events = []trace.Event{
+	tr.SetEvents([]trace.Event{
 		{Kind: trace.KindAlloc, Obj: 0, Size: 64},
 		{Kind: trace.KindContextSwitch},
 		{Kind: trace.KindAlloc, Obj: 1, Size: 64},
-	}
+	})
 	r, err := m.Run(tr, Options{Stack: Memento})
 	if err != nil {
 		t.Fatal(err)
@@ -254,7 +253,8 @@ func TestMultiProcessRun(t *testing.T) {
 
 func TestResultValidatesTraceErrors(t *testing.T) {
 	m, _ := New(config.Default())
-	bad := &trace.Trace{Name: "bad", Objects: 1, Events: []trace.Event{{Kind: trace.KindFree, Obj: 0}}}
+	bad := &trace.Trace{Name: "bad", Objects: 1}
+	bad.Append(trace.Event{Kind: trace.KindFree, Obj: 0})
 	if _, err := m.Run(bad, Options{}); err == nil {
 		t.Fatal("invalid trace must be rejected")
 	}

@@ -51,6 +51,7 @@ func (m *Machine) RunMultiProcess(traces []*trace.Trace, opt Options, quantum in
 	results := make([]Result, len(procs))
 	for i, p := range procs {
 		results[i] = p.result()
+		p.release()
 	}
 	return results, nil
 }

@@ -2,6 +2,7 @@ package machine
 
 import (
 	"fmt"
+	"sync"
 
 	"memento/internal/config"
 	"memento/internal/core"
@@ -21,6 +22,30 @@ type object struct {
 	liveIdx int  // position in process.liveList
 }
 
+// scratch is the per-run object table and live list. The suite replays tens
+// of traces with up to hundreds of thousands of objects each, so the tables
+// are pooled across runs instead of reallocated per run.
+type scratch struct {
+	objs     []object
+	liveList []int
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+// newScratch takes a pooled scratch and sizes its object table for n
+// objects, reusing the previous run's capacity when it suffices.
+func newScratch(n int) *scratch {
+	s := scratchPool.Get().(*scratch)
+	if cap(s.objs) < n {
+		s.objs = make([]object, n)
+	} else {
+		s.objs = s.objs[:n]
+		clear(s.objs)
+	}
+	s.liveList = s.liveList[:0]
+	return s
+}
+
 // process is a resumable execution of one trace on one stack.
 type process struct {
 	m   *Machine
@@ -37,6 +62,7 @@ type process struct {
 	pa    *core.PageAllocator
 	large *softalloc.LargeAlloc
 
+	scr        *scratch
 	objs       []object
 	liveList   []int
 	pc         int
@@ -56,6 +82,9 @@ type process struct {
 
 	// timeline, when non-nil, is the run's interval counter recording.
 	timeline *telemetry.Timeline
+	// observed caches whether any observer (probe or timeline) is attached,
+	// so the per-event step tests one flag instead of two interfaces.
+	observed bool
 }
 
 // mmu dispatches translations: Memento-region addresses walk the hardware
@@ -93,12 +122,15 @@ func (m *Machine) newProcess(tr *trace.Trace, opt Options) (*process, error) {
 	if err := tr.Validate(); err != nil {
 		return nil, err
 	}
+	scr := newScratch(tr.Objects)
 	p := &process{
-		m:    m,
-		tr:   tr,
-		opt:  opt,
-		as:   m.k.NewAddressSpace(),
-		objs: make([]object, tr.Objects),
+		m:        m,
+		tr:       tr,
+		opt:      opt,
+		as:       m.k.NewAddressSpace(),
+		scr:      scr,
+		objs:     scr.objs,
+		liveList: scr.liveList,
 	}
 	p.mmu = &mmu{p: p}
 	p.as.Shootdown = m.tlbs.Shootdown
@@ -171,7 +203,21 @@ func (m *Machine) newProcess(tr *trace.Trace, opt Options) (*process, error) {
 		p.timeline = telemetry.NewTimeline(opt.TimelineInterval)
 		p.timeline.Record(p.snapshot())
 	}
+	p.observed = opt.Probe != nil || p.timeline != nil
 	return p, nil
+}
+
+// release returns the per-run scratch to the pool. The process must not
+// step or finish afterwards.
+func (p *process) release() {
+	if p.scr == nil {
+		return
+	}
+	p.scr.objs = p.objs
+	p.scr.liveList = p.liveList
+	scratchPool.Put(p.scr)
+	p.scr = nil
+	p.objs, p.liveList = nil, nil
 }
 
 // computeTraffic issues the application's own memory accesses for one
@@ -196,7 +242,7 @@ func (p *process) computeTraffic(cycles uint64) {
 	}
 }
 
-func (p *process) done() bool { return p.pc >= len(p.tr.Events) }
+func (p *process) done() bool { return p.pc >= p.tr.Len() }
 
 func (p *process) kernelMM() uint64 { return p.m.k.Stats().KernelMMCycles() }
 
@@ -208,13 +254,14 @@ func (p *process) backing() uint64 {
 }
 
 // step executes one trace event, reporting into the attached probe and
-// timeline. The telemetry-disabled fast path costs two nil checks.
+// timeline. The telemetry-disabled fast path costs one flag test, cached at
+// process setup instead of re-deriving two nil checks per event.
 func (p *process) step() error {
-	if p.opt.Probe == nil && p.timeline == nil {
+	if !p.observed {
 		return p.stepEvent()
 	}
 	idx := p.pc
-	kind := p.tr.Events[idx].Kind
+	kind := p.tr.KindAt(idx)
 	before := p.b
 	if err := p.stepEvent(); err != nil {
 		return err
@@ -236,7 +283,7 @@ func (p *process) step() error {
 
 // stepEvent executes one trace event.
 func (p *process) stepEvent() error {
-	e := p.tr.Events[p.pc]
+	e := p.tr.At(p.pc)
 	p.pc++
 	switch e.Kind {
 	case trace.KindAlloc:

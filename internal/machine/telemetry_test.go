@@ -37,7 +37,7 @@ func TestProbeObservesEveryEvent(t *testing.T) {
 		var p telemetry.Counters
 		r, tr := runWith(t, "aes", Options{Stack: stack, Probe: &p, TimelineInterval: 1 << 30})
 
-		want := uint64(len(tr.Events)) + 1 // +1 teardown
+		want := uint64(tr.Len()) + 1 // +1 teardown
 		if got := p.TotalEvents(); got != want {
 			t.Fatalf("%v: probe saw %d events, want %d", stack, got, want)
 		}
@@ -70,7 +70,7 @@ func TestTimelineSampling(t *testing.T) {
 	if tl == nil || tl.Interval != interval {
 		t.Fatalf("timeline missing: %+v", tl)
 	}
-	wantMin := 2 + len(tr.Events)/interval
+	wantMin := 2 + tr.Len()/interval
 	if tl.Len() < wantMin {
 		t.Fatalf("samples = %d, want >= %d", tl.Len(), wantMin)
 	}
@@ -87,8 +87,8 @@ func TestTimelineSampling(t *testing.T) {
 		}
 	}
 	last := tl.Last()
-	if last.Event != len(tr.Events) {
-		t.Fatalf("last sample at event %d, want %d", last.Event, len(tr.Events))
+	if last.Event != tr.Len() {
+		t.Fatalf("last sample at event %d, want %d", last.Event, tr.Len())
 	}
 	if last.Buckets != bucketsOf(r.Buckets) || last.Cycles != r.Cycles {
 		t.Fatalf("teardown sample %+v != result %+v", last.Buckets, r.Buckets)
@@ -124,7 +124,7 @@ func TestMultiProcessTelemetry(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	wantEvents := uint64(len(traces[0].Events)+len(traces[1].Events)) + 2
+	wantEvents := uint64(traces[0].Len()+traces[1].Len()) + 2
 	if got := p.TotalEvents(); got != wantEvents {
 		t.Fatalf("probe saw %d events, want %d", got, wantEvents)
 	}

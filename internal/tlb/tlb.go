@@ -10,17 +10,28 @@ import (
 	"memento/internal/telemetry"
 )
 
-// entry is a cached VPN -> PFN translation.
+// entry is a cached VPN -> PFN translation, packed to 24 bytes: the valid
+// flag rides in the top bit of the VPN word (VPNs are at most 52 bits), so
+// a probe is a single compare against vpn|validBit per way.
 type entry struct {
-	vpn   uint64
-	pfn   uint64
-	valid bool
-	lru   uint64
+	// vpnw is vpn | validBit.
+	vpnw uint64
+	pfn  uint64
+	lru  uint64
 }
 
-// TLB is one set-associative translation cache level.
+// validBit marks a populated entry in its packed vpn word.
+const validBit = 1 << 63
+
+// TLB is one set-associative translation cache level. Entry storage is one
+// flat, set-major slice (set s occupies entries[s*ways : (s+1)*ways]) so a
+// probe walks contiguous memory instead of chasing a per-set pointer.
 type TLB struct {
-	sets         [][]entry
+	entries []entry
+	ways    int
+	// mru[s] is the way index of set s's most-recently-used entry, probed
+	// first on Lookup.
+	mru          []int32
 	setMask      uint64
 	tick         uint64
 	hits, misses uint64
@@ -36,14 +47,20 @@ func New(cfg config.TLBConfig) *TLB {
 		sets = 1
 	}
 	// Round down to a power of two for cheap indexing.
-	for sets&(sets-1) != 0 {
-		sets--
+	sets = config.FloorPow2(sets)
+	return &TLB{
+		entries: make([]entry, sets*cfg.Ways),
+		ways:    cfg.Ways,
+		mru:     make([]int32, sets),
+		setMask: uint64(sets - 1),
+		lat:     cfg.LatencyCycles,
 	}
-	t := &TLB{sets: make([][]entry, sets), setMask: uint64(sets - 1), lat: cfg.LatencyCycles}
-	for i := range t.sets {
-		t.sets[i] = make([]entry, cfg.Ways)
-	}
-	return t
+}
+
+// waysOf returns set s's entries as a window into the flat storage.
+func (t *TLB) waysOf(set uint64) []entry {
+	base := int(set) * t.ways
+	return t.entries[base : base+t.ways]
 }
 
 // Latency returns the lookup latency in cycles.
@@ -59,12 +76,22 @@ func (t *TLB) setOf(vpn uint64) uint64 {
 // Lookup returns the PFN for vpn if cached.
 func (t *TLB) Lookup(vpn uint64) (pfn uint64, ok bool) {
 	set := t.setOf(vpn)
-	for i := range t.sets[set] {
-		e := &t.sets[set][i]
-		if e.valid && e.vpn == vpn {
+	ways := t.waysOf(set)
+	want := vpn | validBit
+	// MRU fast path: skip the way scan when the last-used entry hits again.
+	if e := &ways[t.mru[set]]; e.vpnw == want {
+		t.tick++
+		e.lru = t.tick
+		t.hits++
+		return e.pfn, true
+	}
+	for i := range ways {
+		e := &ways[i]
+		if e.vpnw == want {
 			t.tick++
 			e.lru = t.tick
 			t.hits++
+			t.mru[set] = int32(i)
 			return e.pfn, true
 		}
 	}
@@ -75,16 +102,18 @@ func (t *TLB) Lookup(vpn uint64) (pfn uint64, ok bool) {
 // Insert caches a translation, evicting LRU if needed.
 func (t *TLB) Insert(vpn, pfn uint64) {
 	set := t.setOf(vpn)
-	ways := t.sets[set]
+	ways := t.waysOf(set)
 	t.tick++
+	want := vpn | validBit
 	vi, lru := 0, ^uint64(0)
 	for i := range ways {
-		if ways[i].valid && ways[i].vpn == vpn {
+		if ways[i].vpnw == want {
 			ways[i].pfn = pfn
 			ways[i].lru = t.tick
+			t.mru[set] = int32(i)
 			return
 		}
-		if !ways[i].valid {
+		if ways[i].vpnw&validBit == 0 {
 			vi, lru = i, 0
 			continue
 		}
@@ -92,25 +121,27 @@ func (t *TLB) Insert(vpn, pfn uint64) {
 			vi, lru = i, ways[i].lru
 		}
 	}
-	ways[vi] = entry{vpn: vpn, pfn: pfn, valid: true, lru: t.tick}
+	ways[vi] = entry{vpnw: want, pfn: pfn, lru: t.tick}
+	t.mru[set] = int32(vi)
 }
 
 // InvalidatePage drops the translation for vpn (a shootdown of one page).
+// A stale mru entry is harmless: the fast path re-checks validity and vpn.
 func (t *TLB) InvalidatePage(vpn uint64) {
 	set := t.setOf(vpn)
-	for i := range t.sets[set] {
-		if t.sets[set][i].valid && t.sets[set][i].vpn == vpn {
-			t.sets[set][i] = entry{}
+	ways := t.waysOf(set)
+	want := vpn | validBit
+	for i := range ways {
+		if ways[i].vpnw == want {
+			ways[i] = entry{}
 		}
 	}
 }
 
 // Flush clears all translations (context switch without ASIDs).
 func (t *TLB) Flush() {
-	for s := range t.sets {
-		for w := range t.sets[s] {
-			t.sets[s][w] = entry{}
-		}
+	for i := range t.entries {
+		t.entries[i] = entry{}
 	}
 }
 
@@ -155,12 +186,17 @@ func (s Stats) Counters() telemetry.TLBCounters {
 type System struct {
 	L1, L2 *TLB
 	stats  Stats
-	// probe, when non-nil, observes walks and shootdowns.
-	probe telemetry.Probe
+	// probe, when non-nil, observes walks and shootdowns. probed caches the
+	// attachment state so the hot path tests one byte, not an interface.
+	probe  telemetry.Probe
+	probed bool
 }
 
 // SetProbe attaches a telemetry probe (nil detaches).
-func (s *System) SetProbe(p telemetry.Probe) { s.probe = p }
+func (s *System) SetProbe(p telemetry.Probe) {
+	s.probe = p
+	s.probed = p != nil
+}
 
 // NewSystem builds the Table 3 TLB pair.
 func NewSystem(m config.Machine) *System {
@@ -189,7 +225,7 @@ func (s *System) Translate(vpn uint64, w Walker) (pfn uint64, cycles uint64, ok 
 	s.stats.Walks++
 	s.stats.WalkCycles += walkCycles
 	cycles += walkCycles
-	if s.probe != nil {
+	if s.probed {
 		s.probe.Count(telemetry.CtrTLBWalk, 1, walkCycles)
 	}
 	if !ok {
@@ -205,7 +241,7 @@ func (s *System) Shootdown(vpn uint64) {
 	s.L1.InvalidatePage(vpn)
 	s.L2.InvalidatePage(vpn)
 	s.stats.Shootdowns++
-	if s.probe != nil {
+	if s.probed {
 		s.probe.Count(telemetry.CtrTLBShootdown, 1, 0)
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sync/atomic"
 )
 
 // Language identifies the runtime whose allocator the trace exercises.
@@ -59,7 +60,9 @@ const (
 	KindContextSwitch
 )
 
-// Event is one timestamped step of a workload.
+// Event is one timestamped step of a workload. It is the unit traces are
+// built from and replayed as; storage inside Trace is columnar (see below),
+// so Event values are materialized views, not the resident representation.
 type Event struct {
 	Kind  Kind   `json:"k"`
 	Obj   int    `json:"o,omitempty"`
@@ -70,60 +73,173 @@ type Event struct {
 	Cycles uint64 `json:"c,omitempty"`
 }
 
-// Trace is a full workload recording.
+// writeBit flags a write access in the packed kind byte. Kind values
+// therefore must fit in 7 bits, which the six defined kinds (and room for
+// ~120 more) comfortably do.
+const writeBit = 0x80
+
+// Trace is a full workload recording. Events are stored struct-of-arrays:
+// three parallel columns (packed kind+write byte, object id, one argument
+// word) instead of a []Event. The replay loop only ever needs the columns a
+// given kind actually uses, so the columnar layout keeps the hot path's
+// working set to 13 bytes per event instead of 40 and lets a whole run's
+// events come out of three contiguous allocations.
 type Trace struct {
 	// Name is the benchmark name (e.g. "dh", "Redis").
-	Name string `json:"name"`
+	Name string
 	// Lang selects the baseline allocator.
-	Lang Language `json:"lang"`
-	// Events is the ordered event stream.
-	Events []Event `json:"events"`
+	Lang Language
+	// kinds holds each event's Kind in the low 7 bits and the Write flag in
+	// the top bit. objs holds the object id (KindAlloc/KindFree/KindTouch).
+	// args holds the kind's argument word: Size for KindAlloc, Bytes for
+	// KindTouch, Cycles for KindCompute, 0 otherwise.
+	kinds []uint8
+	objs  []int32
+	args  []uint64
 	// Objects is the number of distinct object ids used.
-	Objects int `json:"objects"`
+	Objects int
 	// ColdStartCycles is the container setup cost prepended on cold starts.
-	ColdStartCycles uint64 `json:"coldStartCycles,omitempty"`
+	ColdStartCycles uint64
 	// RPCCalls counts backend RPCs at function entry/exit.
-	RPCCalls int `json:"rpcCalls,omitempty"`
+	RPCCalls int
 	// AppBufBytes is the application's working buffer (inputs,
 	// intermediate data) mapped at start; KindCompute events stream over
 	// it, generating the non-MM memory traffic real applications have.
-	AppBufBytes uint64 `json:"appBufBytes,omitempty"`
+	AppBufBytes uint64
 	// ComputeAPK is the application's memory accesses per kilocycle of
 	// compute, driving traffic over the working buffer.
-	ComputeAPK int `json:"computeAPK,omitempty"`
+	ComputeAPK int
+	// validated memoizes a successful Validate. Traces are shared read-only
+	// across the sweep's parallel runs, so revalidating the same event
+	// stream per run would rescan millions of events; atomic because
+	// concurrent runs may race the first validation (both sides compute the
+	// same answer). Any Append clears it.
+	validated atomic.Bool
+}
+
+// Len returns the number of events.
+func (t *Trace) Len() int { return len(t.kinds) }
+
+// KindAt returns event i's kind without materializing the full Event.
+func (t *Trace) KindAt(i int) Kind { return Kind(t.kinds[i] &^ writeBit) }
+
+// At materializes event i. Only the fields the event's kind defines are
+// populated (the canonical form Append stores).
+func (t *Trace) At(i int) Event {
+	e := Event{
+		Kind:  Kind(t.kinds[i] &^ writeBit),
+		Obj:   int(t.objs[i]),
+		Write: t.kinds[i]&writeBit != 0,
+	}
+	switch e.Kind {
+	case KindAlloc:
+		e.Size = t.args[i]
+	case KindTouch:
+		e.Bytes = t.args[i]
+	case KindCompute:
+		e.Cycles = t.args[i]
+	}
+	return e
+}
+
+// Append adds one event in canonical columnar form: the argument word is
+// taken from the field the event's kind defines; the others are dropped.
+func (t *Trace) Append(e Event) {
+	k := uint8(e.Kind) &^ writeBit
+	if e.Write {
+		k |= writeBit
+	}
+	var arg uint64
+	switch e.Kind {
+	case KindAlloc:
+		arg = e.Size
+	case KindTouch:
+		arg = e.Bytes
+	case KindCompute:
+		arg = e.Cycles
+	}
+	t.kinds = append(t.kinds, k)
+	t.objs = append(t.objs, int32(e.Obj))
+	t.args = append(t.args, arg)
+	t.validated.Store(false)
+}
+
+// Reserve grows the columns' capacity to hold at least n more events
+// without reallocating, so generation appends into preallocated storage.
+func (t *Trace) Reserve(n int) {
+	if n <= cap(t.kinds)-len(t.kinds) {
+		return
+	}
+	total := len(t.kinds) + n
+	kinds := make([]uint8, len(t.kinds), total)
+	objs := make([]int32, len(t.objs), total)
+	args := make([]uint64, len(t.args), total)
+	copy(kinds, t.kinds)
+	copy(objs, t.objs)
+	copy(args, t.args)
+	t.kinds, t.objs, t.args = kinds, objs, args
+}
+
+// SetEvents replaces the event stream with evs (bulk load).
+func (t *Trace) SetEvents(evs []Event) {
+	t.kinds = t.kinds[:0]
+	t.objs = t.objs[:0]
+	t.args = t.args[:0]
+	t.Reserve(len(evs))
+	for _, e := range evs {
+		t.Append(e)
+	}
+}
+
+// EventSlice materializes the whole stream as []Event (serialization and
+// tests; the replay path uses Len/At and never needs this).
+func (t *Trace) EventSlice() []Event {
+	if t.Len() == 0 {
+		return nil
+	}
+	evs := make([]Event, t.Len())
+	for i := range evs {
+		evs[i] = t.At(i)
+	}
+	return evs
 }
 
 // Validate checks structural invariants: objects allocated before use,
 // no double frees, ids in range.
 func (t *Trace) Validate() error {
+	if t.validated.Load() {
+		return nil
+	}
 	state := make([]int8, t.Objects) // 0 unborn, 1 live, 2 freed
-	for i, e := range t.Events {
-		switch e.Kind {
+	for i := 0; i < t.Len(); i++ {
+		obj := int(t.objs[i])
+		switch t.KindAt(i) {
 		case KindAlloc:
-			if e.Obj < 0 || e.Obj >= t.Objects {
-				return fmt.Errorf("trace %s: event %d: object %d out of range", t.Name, i, e.Obj)
+			if obj < 0 || obj >= t.Objects {
+				return fmt.Errorf("trace %s: event %d: object %d out of range", t.Name, i, obj)
 			}
-			if state[e.Obj] != 0 {
-				return fmt.Errorf("trace %s: event %d: object %d allocated twice", t.Name, i, e.Obj)
+			if state[obj] != 0 {
+				return fmt.Errorf("trace %s: event %d: object %d allocated twice", t.Name, i, obj)
 			}
-			if e.Size == 0 {
+			if t.args[i] == 0 {
 				return fmt.Errorf("trace %s: event %d: zero-size alloc", t.Name, i)
 			}
-			state[e.Obj] = 1
+			state[obj] = 1
 		case KindFree:
-			if e.Obj < 0 || e.Obj >= t.Objects || state[e.Obj] != 1 {
-				return fmt.Errorf("trace %s: event %d: free of non-live object %d", t.Name, i, e.Obj)
+			if obj < 0 || obj >= t.Objects || state[obj] != 1 {
+				return fmt.Errorf("trace %s: event %d: free of non-live object %d", t.Name, i, obj)
 			}
-			state[e.Obj] = 2
+			state[obj] = 2
 		case KindTouch:
-			if e.Obj < 0 || e.Obj >= t.Objects || state[e.Obj] != 1 {
-				return fmt.Errorf("trace %s: event %d: touch of non-live object %d", t.Name, i, e.Obj)
+			if obj < 0 || obj >= t.Objects || state[obj] != 1 {
+				return fmt.Errorf("trace %s: event %d: touch of non-live object %d", t.Name, i, obj)
 			}
 		case KindCompute, KindGC, KindContextSwitch:
 		default:
-			return fmt.Errorf("trace %s: event %d: unknown kind %d", t.Name, i, e.Kind)
+			return fmt.Errorf("trace %s: event %d: unknown kind %d", t.Name, i, t.KindAt(i))
 		}
 	}
+	t.validated.Store(true)
 	return nil
 }
 
@@ -137,20 +253,64 @@ type Stats struct {
 // Summarize computes aggregate counts.
 func (t *Trace) Summarize() Stats {
 	var s Stats
-	for _, e := range t.Events {
-		switch e.Kind {
+	for i := 0; i < t.Len(); i++ {
+		switch t.KindAt(i) {
 		case KindAlloc:
 			s.Allocs++
-			s.BytesAllocated += e.Size
+			s.BytesAllocated += t.args[i]
 		case KindFree:
 			s.Frees++
 		case KindTouch:
 			s.Touches++
 		case KindCompute:
-			s.ComputeCycles += e.Cycles
+			s.ComputeCycles += t.args[i]
 		}
 	}
 	return s
+}
+
+// traceJSON is the stable wire format: the pre-columnar struct layout, kept
+// so recorded traces encode and decode byte-for-byte as before.
+type traceJSON struct {
+	Name            string   `json:"name"`
+	Lang            Language `json:"lang"`
+	Events          []Event  `json:"events"`
+	Objects         int      `json:"objects"`
+	ColdStartCycles uint64   `json:"coldStartCycles,omitempty"`
+	RPCCalls        int      `json:"rpcCalls,omitempty"`
+	AppBufBytes     uint64   `json:"appBufBytes,omitempty"`
+	ComputeAPK      int      `json:"computeAPK,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler using the stable wire format.
+func (t *Trace) MarshalJSON() ([]byte, error) {
+	return json.Marshal(traceJSON{
+		Name:            t.Name,
+		Lang:            t.Lang,
+		Events:          t.EventSlice(),
+		Objects:         t.Objects,
+		ColdStartCycles: t.ColdStartCycles,
+		RPCCalls:        t.RPCCalls,
+		AppBufBytes:     t.AppBufBytes,
+		ComputeAPK:      t.ComputeAPK,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler for the stable wire format.
+func (t *Trace) UnmarshalJSON(b []byte) error {
+	var w traceJSON
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	t.Name = w.Name
+	t.Lang = w.Lang
+	t.Objects = w.Objects
+	t.ColdStartCycles = w.ColdStartCycles
+	t.RPCCalls = w.RPCCalls
+	t.AppBufBytes = w.AppBufBytes
+	t.ComputeAPK = w.ComputeAPK
+	t.SetEvents(w.Events)
+	return nil
 }
 
 // Encode writes the trace as JSON.

@@ -6,20 +6,21 @@ import (
 )
 
 func valid() *Trace {
-	return &Trace{
+	tr := &Trace{
 		Name:    "t",
 		Lang:    Python,
 		Objects: 2,
-		Events: []Event{
-			{Kind: KindAlloc, Obj: 0, Size: 16},
-			{Kind: KindTouch, Obj: 0, Bytes: 16, Write: true},
-			{Kind: KindCompute, Cycles: 100},
-			{Kind: KindAlloc, Obj: 1, Size: 600},
-			{Kind: KindFree, Obj: 0},
-			{Kind: KindGC},
-			{Kind: KindContextSwitch},
-		},
 	}
+	tr.SetEvents([]Event{
+		{Kind: KindAlloc, Obj: 0, Size: 16},
+		{Kind: KindTouch, Obj: 0, Bytes: 16, Write: true},
+		{Kind: KindCompute, Cycles: 100},
+		{Kind: KindAlloc, Obj: 1, Size: 600},
+		{Kind: KindFree, Obj: 0},
+		{Kind: KindGC},
+		{Kind: KindContextSwitch},
+	})
+	return tr
 }
 
 func TestValidateAccepts(t *testing.T) {
@@ -34,27 +35,27 @@ func TestValidateRejects(t *testing.T) {
 		mutate func(*Trace)
 	}{
 		{"double alloc", func(tr *Trace) {
-			tr.Events = append(tr.Events, Event{Kind: KindAlloc, Obj: 0, Size: 8})
+			tr.Append(Event{Kind: KindAlloc, Obj: 0, Size: 8})
 		}},
 		{"double free", func(tr *Trace) {
-			tr.Events = append(tr.Events, Event{Kind: KindFree, Obj: 0})
+			tr.Append(Event{Kind: KindFree, Obj: 0})
 		}},
 		{"free unborn", func(tr *Trace) {
 			tr.Objects = 3
-			tr.Events = append(tr.Events, Event{Kind: KindFree, Obj: 2})
+			tr.Append(Event{Kind: KindFree, Obj: 2})
 		}},
 		{"touch freed", func(tr *Trace) {
-			tr.Events = append(tr.Events, Event{Kind: KindTouch, Obj: 0, Bytes: 8})
+			tr.Append(Event{Kind: KindTouch, Obj: 0, Bytes: 8})
 		}},
 		{"obj out of range", func(tr *Trace) {
-			tr.Events = append(tr.Events, Event{Kind: KindAlloc, Obj: 99, Size: 8})
+			tr.Append(Event{Kind: KindAlloc, Obj: 99, Size: 8})
 		}},
 		{"zero size", func(tr *Trace) {
 			tr.Objects = 3
-			tr.Events = append(tr.Events, Event{Kind: KindAlloc, Obj: 2, Size: 0})
+			tr.Append(Event{Kind: KindAlloc, Obj: 2, Size: 0})
 		}},
 		{"bad kind", func(tr *Trace) {
-			tr.Events = append(tr.Events, Event{Kind: Kind(42)})
+			tr.Append(Event{Kind: Kind(42)})
 		}},
 	}
 	for _, c := range cases {
@@ -89,18 +90,19 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.Name != orig.Name || got.Lang != orig.Lang || len(got.Events) != len(orig.Events) {
+	if got.Name != orig.Name || got.Lang != orig.Lang || got.Len() != orig.Len() {
 		t.Fatalf("round trip mismatch: %+v", got)
 	}
-	for i := range got.Events {
-		if got.Events[i] != orig.Events[i] {
-			t.Fatalf("event %d mismatch: %+v vs %+v", i, got.Events[i], orig.Events[i])
+	for i := 0; i < got.Len(); i++ {
+		if got.At(i) != orig.At(i) {
+			t.Fatalf("event %d mismatch: %+v vs %+v", i, got.At(i), orig.At(i))
 		}
 	}
 }
 
 func TestDecodeRejectsInvalid(t *testing.T) {
-	bad := &Trace{Name: "b", Objects: 1, Events: []Event{{Kind: KindFree, Obj: 0}}}
+	bad := &Trace{Name: "b", Objects: 1}
+	bad.Append(Event{Kind: KindFree, Obj: 0})
 	var buf bytes.Buffer
 	bad.Encode(&buf)
 	if _, err := Decode(&buf); err == nil {

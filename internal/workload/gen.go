@@ -2,6 +2,7 @@ package workload
 
 import (
 	"math/rand"
+	"slices"
 	"sort"
 
 	"memento/internal/trace"
@@ -13,6 +14,48 @@ import (
 type pendingFree struct {
 	due uint64
 	obj int
+}
+
+// sortPending orders scheduled deaths by due date. slices.SortFunc runs the
+// same pattern-defeating quicksort as the sort.Slice call it replaces — so
+// ties land in the same order and traces stay bit-identical — but swaps
+// elements directly instead of through sort.Slice's reflection-based
+// swapper, which dominated generation profiles.
+func sortPending(s []pendingFree) {
+	slices.SortFunc(s, func(a, b pendingFree) int {
+		switch {
+		case a.due < b.due:
+			return -1
+		case a.due > b.due:
+			return 1
+		default:
+			return 0
+		}
+	})
+}
+
+// pendingQueue is a due-date-ordered death queue. It tracks whether elements
+// were pushed since the last sort: draining only pops from the front, which
+// keeps a sorted queue sorted, so a clean queue can skip the sort call
+// outright — sorting a sorted slice is the identity, and skipping it keeps
+// generated traces bit-identical while removing the per-allocation
+// verify-scan over queues that rarely change.
+type pendingQueue struct {
+	s     []pendingFree
+	dirty bool
+}
+
+func (q *pendingQueue) push(f pendingFree) {
+	q.s = append(q.s, f)
+	q.dirty = true
+}
+
+// sorted sorts the queue if pushes happened since the last sort.
+func (q *pendingQueue) sorted() {
+	if q.dirty {
+		sortPending(q.s)
+		q.dirty = false
+	}
 }
 
 // Generate builds the deterministic event trace for a profile.
@@ -36,17 +79,27 @@ func generate(p Profile, ephemeralAware bool) *trace.Trace {
 		AppBufBytes:     uint64(p.AppBufKB) << 10,
 		ComputeAPK:      p.ComputeAPK,
 	}
-	events := make([]trace.Event, 0, p.Allocs*5)
+	// Preallocate the columnar event storage: the generator emits at most
+	// ~5 events per allocation (free, alloc, touch, retouch, compute).
+	tr.Reserve(p.Allocs * 5)
 
 	// Per-size-class allocation counters and pending deaths, keyed by the
 	// 8-byte-rounded class (the paper's lifetime metric counts allocations
 	// "of the same size class").
 	classCount := make(map[uint64]uint64)
-	pending := make(map[uint64][]pendingFree)
+	pending := make(map[uint64]*pendingQueue)
+	pendingOf := func(cls uint64) *pendingQueue {
+		q := pending[cls]
+		if q == nil {
+			q = &pendingQueue{}
+			pending[cls] = q
+		}
+		return q
+	}
 	// Large allocations are too sparse for per-class counters (every size
 	// is its own class); their deaths are scheduled on the global
 	// allocation counter instead.
-	var pendingLarge []pendingFree
+	var pendingLarge pendingQueue
 	// gcDead accumulates dead-but-uncollected objects for Golang GC.
 	var gcDead []int
 	var live []int
@@ -89,33 +142,32 @@ func generate(p Profile, ephemeralAware bool) *trace.Trace {
 			case usesGC && ephemeralAware && ephemeral[dead]:
 				// Extension: the enhanced GC frees dead ephemeral objects
 				// proactively through obj-free.
-				events = append(events, trace.Event{Kind: trace.KindFree, Obj: dead})
+				tr.Append(trace.Event{Kind: trace.KindFree, Obj: dead})
 			case usesGC:
 				// Golang: the object is dead but only the GC reclaims it.
 				gcDead = append(gcDead, dead)
 			default:
-				events = append(events, trace.Event{Kind: trace.KindFree, Obj: dead})
+				tr.Append(trace.Event{Kind: trace.KindFree, Obj: dead})
 			}
 			dropLive(dead)
 		}
 
 		// Emit frees that have come due for this class.
-		due := pending[cls]
-		sort.Slice(due, func(a, b int) bool { return due[a].due < due[b].due })
-		for len(due) > 0 && due[0].due <= cnt {
-			emitDead(due[0].obj)
-			due = due[1:]
+		q := pendingOf(cls)
+		q.sorted()
+		for len(q.s) > 0 && q.s[0].due <= cnt {
+			emitDead(q.s[0].obj)
+			q.s = q.s[1:]
 		}
-		pending[cls] = due
 		// And the large-object deaths due by global allocation count.
-		sort.Slice(pendingLarge, func(a, b int) bool { return pendingLarge[a].due < pendingLarge[b].due })
-		for len(pendingLarge) > 0 && pendingLarge[0].due <= uint64(i) {
-			emitDead(pendingLarge[0].obj)
-			pendingLarge = pendingLarge[1:]
+		pendingLarge.sorted()
+		for len(pendingLarge.s) > 0 && pendingLarge.s[0].due <= uint64(i) {
+			emitDead(pendingLarge.s[0].obj)
+			pendingLarge.s = pendingLarge.s[1:]
 		}
 
 		obj := newObj()
-		events = append(events, trace.Event{Kind: trace.KindAlloc, Obj: obj, Size: size})
+		tr.Append(trace.Event{Kind: trace.KindAlloc, Obj: obj, Size: size})
 		addLive(obj)
 
 		// First-use write of the new object.
@@ -123,15 +175,15 @@ func generate(p Profile, ephemeralAware bool) *trace.Trace {
 		if touch == 0 {
 			touch = 1
 		}
-		events = append(events, trace.Event{Kind: trace.KindTouch, Obj: obj, Bytes: touch, Write: true})
+		tr.Append(trace.Event{Kind: trace.KindTouch, Obj: obj, Bytes: touch, Write: true})
 
 		// Schedule the death. Small objects die after a per-class distance
 		// (the Fig 3 metric); large objects after a global distance.
 		schedule := func(d uint64) {
 			if size > 512 {
-				pendingLarge = append(pendingLarge, pendingFree{due: uint64(i) + d, obj: obj})
+				pendingLarge.push(pendingFree{due: uint64(i) + d, obj: obj})
 			} else {
-				pending[cls] = append(pending[cls], pendingFree{due: cnt + d, obj: obj})
+				pendingOf(cls).push(pendingFree{due: cnt + d, obj: obj})
 			}
 		}
 		r := rng.Float64()
@@ -149,7 +201,7 @@ func generate(p Profile, ephemeralAware bool) *trace.Trace {
 			// thinly the class is populated — and miss the HOT on free
 			// (Section 6.4).
 			d := uint64(4096 + rng.Intn(16384))
-			pendingLarge = append(pendingLarge, pendingFree{due: uint64(i) + d, obj: obj})
+			pendingLarge.push(pendingFree{due: uint64(i) + d, obj: obj})
 		default:
 			// Never freed: reclaimed at exit (functions) or at a GC.
 		}
@@ -157,26 +209,25 @@ func generate(p Profile, ephemeralAware bool) *trace.Trace {
 		// Locality: occasionally re-read a random live object.
 		if rng.Float64() < p.RetouchProb && len(live) > 0 {
 			o := live[rng.Intn(len(live))]
-			events = append(events, trace.Event{Kind: trace.KindTouch, Obj: o, Write: false})
+			tr.Append(trace.Event{Kind: trace.KindTouch, Obj: o, Write: false})
 		}
 
 		// Application work between allocations (+-50% jitter).
 		if p.ComputePerAlloc > 0 {
 			c := p.ComputePerAlloc/2 + uint64(rng.Int63n(int64(p.ComputePerAlloc)+1))
-			events = append(events, trace.Event{Kind: trace.KindCompute, Cycles: c})
+			tr.Append(trace.Event{Kind: trace.KindCompute, Cycles: c})
 		}
 
 		// Periodic garbage collection for long-running Golang workloads.
 		if usesGC && p.GCPeriod > 0 && (i+1)%p.GCPeriod == 0 {
-			events = append(events, trace.Event{Kind: trace.KindGC})
+			tr.Append(trace.Event{Kind: trace.KindGC})
 			for _, dead := range gcDead {
-				events = append(events, trace.Event{Kind: trace.KindFree, Obj: dead})
+				tr.Append(trace.Event{Kind: trace.KindFree, Obj: dead})
 			}
 			gcDead = gcDead[:0]
 		}
 	}
 
-	tr.Events = events
 	tr.Objects = nextObj
 	return tr
 }

@@ -75,11 +75,11 @@ func TestGenerateDeterministic(t *testing.T) {
 	p, _ := ByName("bfs")
 	a := Generate(p)
 	b := Generate(p)
-	if len(a.Events) != len(b.Events) {
+	if a.Len() != b.Len() {
 		t.Fatal("non-deterministic event count")
 	}
-	for i := range a.Events {
-		if a.Events[i] != b.Events[i] {
+	for i := 0; i < a.Len(); i++ {
+		if a.At(i) != b.At(i) {
 			t.Fatalf("event %d differs", i)
 		}
 	}
@@ -88,7 +88,8 @@ func TestGenerateDeterministic(t *testing.T) {
 // sizeHistogram builds the Fig 2 histogram for a trace.
 func sizeHistogram(tr *trace.Trace) *stats.Histogram {
 	h := stats.NewLinearHistogram(tr.Name, 512, 8)
-	for _, e := range tr.Events {
+	for i := 0; i < tr.Len(); i++ {
+		e := tr.At(i)
 		if e.Kind == trace.KindAlloc {
 			h.Add(int64(e.Size))
 		}
@@ -122,7 +123,8 @@ func lifetimeStats(tr *trace.Trace) (short, mid, long uint64) {
 	classCount := map[uint64]uint64{}
 	bornAt := map[int]uint64{}
 	classOf := map[int]uint64{}
-	for _, e := range tr.Events {
+	for i := 0; i < tr.Len(); i++ {
+		e := tr.At(i)
 		switch e.Kind {
 		case trace.KindAlloc:
 			cls := (e.Size + 7) / 8
@@ -180,7 +182,8 @@ func TestGolangPlatformUsesGC(t *testing.T) {
 	p, _ := ByName("deploy")
 	tr := Generate(p)
 	gcs, frees := 0, 0
-	for _, e := range tr.Events {
+	for i := 0; i < tr.Len(); i++ {
+		e := tr.At(i)
 		switch e.Kind {
 		case trace.KindGC:
 			gcs++
@@ -199,7 +202,8 @@ func TestGolangPlatformUsesGC(t *testing.T) {
 func TestGolangFunctionNeverFrees(t *testing.T) {
 	p, _ := ByName("aes-go")
 	tr := Generate(p)
-	for _, e := range tr.Events {
+	for i := 0; i < tr.Len(); i++ {
+		e := tr.At(i)
 		if e.Kind == trace.KindFree || e.Kind == trace.KindGC {
 			t.Fatal("short Golang functions must not free or GC (batch-freed at exit)")
 		}

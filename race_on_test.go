@@ -1,0 +1,9 @@
+//go:build race
+
+package memento
+
+// raceEnabled reports whether the race detector is compiled in (this file's
+// build tag selects it). Used to skip wall-clock-heavy regression tests whose
+// logic is covered elsewhere, keeping `go test -race ./...` under the
+// per-package timeout on small CI runners.
+const raceEnabled = true

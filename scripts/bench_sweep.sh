@@ -1,0 +1,37 @@
+#!/usr/bin/env sh
+# Runs the full-sweep benchmark (the 23-workload x 3-stack simulation behind
+# Table 2 and Figs 8-14) and writes the timings to BENCH_sweep.json.
+#
+# Usage: scripts/bench_sweep.sh [count]
+#   count  benchmark repetitions (default 3)
+set -eu
+
+cd "$(dirname "$0")/.."
+COUNT="${1:-3}"
+OUT="${BENCH_OUT:-BENCH_sweep.json}"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+go test -bench='^BenchmarkSweep$' -benchtime=1x -run='^$' -count="$COUNT" . | tee "$RAW"
+
+awk -v count="$COUNT" '
+  /^BenchmarkSweep/ { ns[n++] = $3 }
+  /^cpu:/ { sub(/^cpu: /, ""); cpu = $0 }
+  END {
+    if (n == 0) { print "bench_sweep: no BenchmarkSweep results" > "/dev/stderr"; exit 1 }
+    sum = 0
+    for (i = 0; i < n; i++) sum += ns[i]
+    printf "{\n"
+    printf "  \"benchmark\": \"BenchmarkSweep\",\n"
+    printf "  \"cpu\": \"%s\",\n", cpu
+    printf "  \"count\": %d,\n", n
+    printf "  \"ns_per_op\": ["
+    for (i = 0; i < n; i++) printf "%s%s", ns[i], (i < n-1 ? ", " : "")
+    printf "],\n"
+    printf "  \"mean_ns_per_op\": %.0f,\n", sum / n
+    printf "  \"mean_seconds\": %.3f\n", sum / n / 1e9
+    printf "}\n"
+  }
+' "$RAW" > "$OUT"
+
+echo "wrote $OUT"
