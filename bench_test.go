@@ -134,7 +134,11 @@ func newBenchUnit(b *testing.B) *core.Unit {
 		b.Fatal(err)
 	}
 	_ = tlb.NewSystem(cfg)
-	return core.NewUnit(cfg, lay, pa, h, core.NopTranslator())
+	u, err := core.NewUnit(cfg, lay, pa, h, core.NopTranslator())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return u
 }
 
 // BenchmarkObjAllocFree measures the simulated obj-alloc/obj-free pair on

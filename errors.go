@@ -1,0 +1,48 @@
+package memento
+
+import "memento/internal/simerr"
+
+// The typed error taxonomy. Every error returned by the Runner/Machine APIs
+// wraps exactly one of these sentinels; match with errors.Is:
+//
+//	_, err := r.Run("html")
+//	if errors.Is(err, memento.ErrOutOfMemory) {
+//		// the simulated machine ran out of physical frames — the run
+//		// failed cleanly and the machine's memory was reclaimed
+//	}
+//
+// ErrOutOfMemory and ErrSegfault are distinguished end to end: a failed
+// translation reports ErrOutOfMemory when the buddy allocator (or the
+// Memento page pool) could not back the page, and ErrSegfault only when no
+// mapping covers the address at all.
+var (
+	// ErrOutOfMemory reports simulated physical-memory exhaustion.
+	ErrOutOfMemory = simerr.ErrOutOfMemory
+	// ErrSegfault reports an access to an unmapped address.
+	ErrSegfault = simerr.ErrSegfault
+	// ErrTraceInvalid reports a structurally invalid trace.
+	ErrTraceInvalid = simerr.ErrTraceInvalid
+	// ErrDoubleFree is Memento's double-free exception (Section 4).
+	ErrDoubleFree = simerr.ErrDoubleFree
+	// ErrBadFree reports a free of an address no allocator issued.
+	ErrBadFree = simerr.ErrBadFree
+	// ErrTooLarge reports an object beyond the hardware maximum size.
+	ErrTooLarge = simerr.ErrTooLarge
+	// ErrRegionExhausted reports an exhausted Memento size-class stripe.
+	ErrRegionExhausted = simerr.ErrRegionExhausted
+	// ErrInvalidConfig reports an unrunnable configuration.
+	ErrInvalidConfig = simerr.ErrInvalidConfig
+	// ErrFaultInjected marks failures raised by the fault-injection
+	// harness; they additionally match ErrOutOfMemory.
+	ErrFaultInjected = simerr.ErrFaultInjected
+)
+
+// SimError is the structured error carrying failure context: the failing
+// operation, the faulting virtual address, and the workload/stack/event of
+// the run. Retrieve it with errors.As:
+//
+//	var se *memento.SimError
+//	if errors.As(err, &se) {
+//		log.Printf("%s failed at event %d (va %#x)", se.Op, se.Event, se.VA)
+//	}
+type SimError = simerr.SimError

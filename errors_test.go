@@ -1,0 +1,67 @@
+package memento_test
+
+import (
+	"errors"
+	"testing"
+
+	"memento"
+)
+
+// TestPublicErrorTaxonomy drives the public Runner API into resource
+// exhaustion and asserts the error contract end to end: typed sentinels
+// matchable with errors.Is, structured context via errors.As, and no
+// panics anywhere on the path.
+func TestPublicErrorTaxonomy(t *testing.T) {
+	cfg := memento.DefaultConfig()
+	cfg.DRAM.SizeBytes = 4 << 20
+	cfg.Memento.PagePoolPages = 128
+	cfg.Memento.PagePoolRefillPages = 64
+
+	tr, err := memento.GenerateTrace("html")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, stack := range []memento.Stack{memento.Baseline, memento.Memento} {
+		r := memento.NewRunner(cfg, memento.WithStack(stack))
+		_, rerr := r.RunTrace(tr)
+		if rerr == nil {
+			t.Fatalf("%v: html on a 4 MiB machine must exhaust memory", stack)
+		}
+		if !errors.Is(rerr, memento.ErrOutOfMemory) {
+			t.Fatalf("%v: error does not match memento.ErrOutOfMemory: %v", stack, rerr)
+		}
+		var se *memento.SimError
+		if !errors.As(rerr, &se) {
+			t.Fatalf("%v: error carries no SimError: %v", stack, rerr)
+		}
+		if se.Workload != "html" || se.Op == "" {
+			t.Fatalf("%v: SimError context incomplete: %+v", stack, se)
+		}
+	}
+}
+
+// TestPublicFaultInjection exercises the exported fault-injection surface.
+func TestPublicFaultInjection(t *testing.T) {
+	tr, err := memento.GenerateTrace("html")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hook := memento.FailAfter(100)
+	r := memento.NewRunner(memento.DefaultConfig(),
+		memento.WithStack(memento.Baseline), memento.WithAllocHook(hook))
+	_, rerr := r.RunTrace(tr)
+	if rerr == nil {
+		t.Fatal("injected fault did not surface")
+	}
+	if !errors.Is(rerr, memento.ErrFaultInjected) || !errors.Is(rerr, memento.ErrOutOfMemory) {
+		t.Fatalf("injected fault mis-typed: %v", rerr)
+	}
+	if hook.Injected() == 0 {
+		t.Fatal("hook reports no injections")
+	}
+	// The same runner with the hook removed runs clean.
+	clean := memento.NewRunner(memento.DefaultConfig(), memento.WithStack(memento.Baseline))
+	if _, err := clean.RunTrace(tr); err != nil {
+		t.Fatalf("clean rerun failed: %v", err)
+	}
+}

@@ -1,0 +1,35 @@
+package memento
+
+import (
+	"memento/internal/faultinject"
+	"memento/internal/machine"
+)
+
+// AllocHook intercepts every simulated physical-frame allocation (kernel
+// buddy allocations and Memento page-pool pops) for fault injection.
+// FaultHook is the ready-made deterministic implementation; custom hooks
+// just implement the one-method interface.
+type AllocHook = machine.AllocHook
+
+// FaultHook is a deterministic fault-injection trigger built by FailNth,
+// FailBelow, or FailAfter. Its Attempts and Injected counters report how
+// many allocations it observed and vetoed. A vetoed allocation fails
+// exactly like real exhaustion: the run returns an error matching both
+// ErrOutOfMemory and ErrFaultInjected.
+type FaultHook = faultinject.Hook
+
+// FailNth returns a hook that fails exactly the nth (1-based) frame
+// allocation it observes.
+func FailNth(n uint64) *FaultHook { return faultinject.FailNth(n) }
+
+// FailBelow returns a hook that fails every frame allocation attempted
+// while fewer than k frames remain free.
+func FailBelow(k uint64) *FaultHook { return faultinject.FailBelow(k) }
+
+// FailAfter returns a hook that lets the first n frame allocations through
+// and fails every one after them.
+func FailAfter(n uint64) *FaultHook { return faultinject.FailAfter(n) }
+
+// WithAllocHook threads a fault-injection hook through every frame
+// allocation of subsequent runs (nil detaches).
+func WithAllocHook(h AllocHook) RunOption { return func(o *Options) { o.AllocHook = h } }

@@ -20,7 +20,7 @@ import (
 // TLB data structures from the kernel page-table model.
 type fixedWalker struct{}
 
-func (fixedWalker) Walk(vpn uint64) (uint64, uint64, bool) { return vpn + 1, 120, true }
+func (fixedWalker) Walk(vpn uint64) (uint64, uint64, error) { return vpn + 1, 120, nil }
 
 // benchAddrs is a mix of strided and re-used line addresses, enough to hit
 // all three cache levels and miss to DRAM.
@@ -57,7 +57,7 @@ func BenchmarkTLBTranslate(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, ok := s.Translate(uint64(i%512), w); !ok {
+		if _, _, err := s.Translate(uint64(i%512), w); err != nil {
 			b.Fatal("translate failed")
 		}
 	}

@@ -212,6 +212,36 @@ type Stats struct {
 	Writebacks uint64
 }
 
+// Sub returns the field-wise difference s - o: the activity between two
+// snapshots. Arithmetic wraps (uint64 modular), so sums of deltas match the
+// cumulative counters exactly.
+func (s Stats) Sub(o Stats) Stats {
+	s.L1Hits -= o.L1Hits
+	s.L1Misses -= o.L1Misses
+	s.L2Hits -= o.L2Hits
+	s.L2Misses -= o.L2Misses
+	s.LLCHits -= o.LLCHits
+	s.LLCMisses -= o.LLCMisses
+	s.BypassFills -= o.BypassFills
+	s.DRAMFillsAvoided -= o.DRAMFillsAvoided
+	s.Writebacks -= o.Writebacks
+	return s
+}
+
+// Add returns the field-wise sum s + o.
+func (s Stats) Add(o Stats) Stats {
+	s.L1Hits += o.L1Hits
+	s.L1Misses += o.L1Misses
+	s.L2Hits += o.L2Hits
+	s.L2Misses += o.L2Misses
+	s.LLCHits += o.LLCHits
+	s.LLCMisses += o.LLCMisses
+	s.BypassFills += o.BypassFills
+	s.DRAMFillsAvoided += o.DRAMFillsAvoided
+	s.Writebacks += o.Writebacks
+	return s
+}
+
 // Counters returns the stats in their stable telemetry wire form.
 func (s Stats) Counters() telemetry.CacheCounters {
 	return telemetry.CacheCounters{

@@ -19,12 +19,12 @@ type paTranslator struct {
 	tlbs *tlb.System
 }
 
-func (t *paTranslator) Translate(va uint64) (uint64, uint64, bool) {
-	pfn, cycles, ok := t.tlbs.Translate(va>>config.PageShift, t.pa)
-	if !ok {
-		return 0, cycles, false
+func (t *paTranslator) Translate(va uint64) (uint64, uint64, error) {
+	pfn, cycles, err := t.tlbs.Translate(va>>config.PageShift, t.pa)
+	if err != nil {
+		return 0, cycles, err
 	}
-	return pfn<<config.PageShift | va&(config.PageSize-1), cycles, true
+	return pfn<<config.PageShift | va&(config.PageSize-1), cycles, nil
 }
 
 type fixture struct {
@@ -54,7 +54,10 @@ func newFixture(t testing.TB, mutate ...func(*config.Machine)) *fixture {
 	}
 	tlbs := tlb.NewSystem(cfg)
 	tr := &paTranslator{pa: pa, tlbs: tlbs}
-	u := NewUnit(cfg, lay, pa, h, tr)
+	u, err := NewUnit(cfg, lay, pa, h, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
 	pa.Shootdown = tlbs.Shootdown
 	return &fixture{cfg: cfg, h: h, k: k, lay: lay, pa: pa, tlbs: tlbs, u: u}
 }
@@ -392,9 +395,9 @@ func TestPageAllocatorFirstTouchBacking(t *testing.T) {
 		t.Fatal(err)
 	}
 	_ = va2
-	cycles, ok := f.u.AccessData(va+25*config.PageSize-256, false)
-	if !ok {
-		t.Fatal("access failed")
+	cycles, aerr := f.u.AccessData(va+25*config.PageSize-256, false)
+	if aerr != nil {
+		t.Fatal("access failed:", aerr)
 	}
 	if cycles == 0 {
 		t.Fatal("first touch must cost cycles")
@@ -411,9 +414,8 @@ func TestBypassInstallsZeroLines(t *testing.T) {
 	f := newFixture(t)
 	va, _, _ := f.u.ObjAlloc(512)
 	dramReadsBefore := f.h.Mem.Stats().Reads
-	_, ok := f.u.AccessData(va, true)
-	if !ok {
-		t.Fatal("access failed")
+	if _, err := f.u.AccessData(va, true); err != nil {
+		t.Fatal("access failed:", err)
 	}
 	if f.u.Stats().BypassedLines == 0 {
 		t.Fatal("first access to a fresh line should bypass DRAM")
@@ -518,7 +520,10 @@ func TestFragmentationMetric(t *testing.T) {
 
 func TestCrossThreadFreeBatching(t *testing.T) {
 	f := newFixture(t)
-	other := NewUnit(f.cfg, f.lay, f.pa, f.h, &paTranslator{pa: f.pa, tlbs: f.tlbs})
+	other, err := NewUnit(f.cfg, f.lay, f.pa, f.h, &paTranslator{pa: f.pa, tlbs: f.tlbs})
+	if err != nil {
+		t.Fatal(err)
+	}
 	// "other" acts as the consumer thread freeing the producer's objects.
 	vas := make([]uint64, crossFreeBufCap)
 	for i := range vas {

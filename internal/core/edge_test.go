@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"testing"
 
 	"memento/internal/config"
@@ -42,8 +43,11 @@ func TestRegionExhaustion(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	u := NewUnit(cfg, lay, pa, f.h, NopTranslator())
-	if _, _, err := u.ObjAlloc(512); err != ErrRegionExhausted {
+	u, err := NewUnit(cfg, lay, pa, f.h, NopTranslator())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := u.ObjAlloc(512); !errors.Is(err, ErrRegionExhausted) {
 		t.Fatalf("err = %v, want ErrRegionExhausted", err)
 	}
 	// Small classes still work in their stripes.

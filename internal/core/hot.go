@@ -1,7 +1,9 @@
 package core
 
 import (
-	"errors"
+	"fmt"
+
+	"memento/internal/simerr"
 )
 
 // hotEntry is one Hardware Object Table entry (Fig 5b): the cached arena
@@ -18,18 +20,20 @@ type hotEntry struct {
 
 // Errors surfaced to software as exceptions (Section 4: double frees and
 // similar application bugs "are handled graciously by raising an exception
-// to software").
+// to software"). Each wraps its simerr taxonomy sentinel, so callers can
+// match with errors.Is against either the package variable or the
+// re-exported sentinel.
 var (
 	// ErrTooLarge means the request exceeds the 512-byte hardware maximum
 	// and must be served by the software allocator.
-	ErrTooLarge = errors.New("core: allocation exceeds hardware maximum")
+	ErrTooLarge = fmt.Errorf("core: %w", simerr.ErrTooLarge)
 	// ErrNotMemento means the freed address is outside the Memento region.
-	ErrNotMemento = errors.New("core: address outside memento region")
+	ErrNotMemento = fmt.Errorf("core: address outside memento region: %w", simerr.ErrBadFree)
 	// ErrDoubleFree is the double-free exception.
-	ErrDoubleFree = errors.New("core: double free")
+	ErrDoubleFree = fmt.Errorf("core: %w", simerr.ErrDoubleFree)
 	// ErrBadAddress is raised for frees of addresses that are not object
 	// starts.
-	ErrBadAddress = errors.New("core: not an allocated object address")
+	ErrBadAddress = fmt.Errorf("core: not an allocated object address: %w", simerr.ErrBadFree)
 )
 
 // Stats counts object-allocator activity; these are the counters behind

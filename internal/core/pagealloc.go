@@ -1,10 +1,11 @@
 package core
 
 import (
-	"errors"
+	"fmt"
 
 	"memento/internal/config"
 	"memento/internal/kernel"
+	"memento/internal/simerr"
 )
 
 // Mem is physically-addressed memory (the cache hierarchy); the page
@@ -15,12 +16,25 @@ type Mem interface {
 }
 
 // ErrRegionExhausted is returned when a size-class stripe runs out of
-// virtual addresses.
-var ErrRegionExhausted = errors.New("core: memento region stripe exhausted")
+// virtual addresses. It wraps simerr.ErrRegionExhausted.
+var ErrRegionExhausted = fmt.Errorf("core: memento region stripe exhausted: %w", simerr.ErrRegionExhausted)
 
 // ErrPoolEmpty is returned when the physical page pool cannot be
-// replenished.
-var ErrPoolEmpty = errors.New("core: physical page pool exhausted")
+// replenished. It wraps simerr.ErrOutOfMemory: an empty pool means the OS
+// had no frames left to hand over.
+var ErrPoolEmpty = fmt.Errorf("core: physical page pool exhausted: %w", simerr.ErrOutOfMemory)
+
+// AllocHook intercepts page-pool pops for fault injection, mirroring
+// kernel.AllocHook on the hardware side (see internal/faultinject). Pool
+// refills already pass through the kernel's frame-allocation hook; this one
+// additionally covers the pops that service arena requests and flagged
+// walks from an already-filled pool.
+type AllocHook interface {
+	// FailFrameAlloc is consulted before the nth (1-based) pool pop with the
+	// current pool depth; returning true fails the pop as if the pool and
+	// the OS were both exhausted.
+	FailFrameAlloc(n uint64, free uint64) bool
+}
 
 // PageAllocStats counts hardware page allocator activity.
 type PageAllocStats struct {
@@ -102,7 +116,14 @@ type PageAllocator struct {
 	stats PageAllocStats
 	// residentPages tracks currently backed arena pages for the peak stat.
 	residentPages uint64
+	// allocHook, when non-nil, may veto pool pops (fault injection);
+	// poolPops counts pop attempts for its trigger.
+	allocHook AllocHook
+	poolPops  uint64
 }
+
+// SetAllocHook attaches a fault-injection hook to the pool (nil detaches).
+func (p *PageAllocator) SetAllocHook(h AllocHook) { p.allocHook = h }
 
 // noteBacked updates the resident-page high-water mark.
 func (p *PageAllocator) noteBacked(n uint64) {
@@ -129,6 +150,11 @@ func NewPageAllocator(cfg config.Machine, layout *Layout, mem Mem, k *kernel.Ker
 		p.aacSlots[i] = -1
 	}
 	if err := p.refillPool(cfg.Memento.PagePoolPages); err != nil {
+		// The partial refill handed us frames; give them back so a failed
+		// construction leaves the kernel's free-frame count untouched.
+		if rerr := p.Release(); rerr != nil {
+			return nil, fmt.Errorf("%w (releasing partial pool: %v)", err, rerr)
+		}
 		return nil, err
 	}
 	return p, nil
@@ -136,20 +162,29 @@ func NewPageAllocator(cfg config.Machine, layout *Layout, mem Mem, k *kernel.Ker
 
 // refillPool asks the OS for more physical pages. This happens off the
 // function's critical path (the OS replenishes on demand), so the cycles are
-// recorded as background work.
+// recorded as background work. On failure any frames the OS did hand over
+// before running dry are still added to the pool; the error wraps
+// simerr.ErrOutOfMemory (and simerr.ErrFaultInjected when a kernel-side
+// hook vetoed the refill).
 func (p *PageAllocator) refillPool(n int) error {
-	frames, cycles, ok := p.k.AllocPoolPages(n)
+	frames, cycles, err := p.k.AllocPoolPages(n)
 	p.pool = append(p.pool, frames...)
 	p.stats.BackgroundCycles += cycles
 	p.stats.PoolRefills++
-	if !ok {
-		return ErrPoolEmpty
+	if err != nil {
+		return fmt.Errorf("core: pool refill: %w", err)
 	}
 	return nil
 }
 
-// popPage takes one page from the pool, refilling when low.
+// popPage takes one page from the pool, refilling when low. The error wraps
+// simerr.ErrOutOfMemory.
 func (p *PageAllocator) popPage() (uint64, error) {
+	p.poolPops++
+	if p.allocHook != nil && p.allocHook.FailFrameAlloc(p.poolPops, uint64(len(p.pool))) {
+		return 0, fmt.Errorf("core: pool pop %d vetoed: %w (%w)",
+			p.poolPops, simerr.ErrOutOfMemory, simerr.ErrFaultInjected)
+	}
 	if len(p.pool) < p.cfg.Memento.PagePoolRefillPages/4 {
 		if err := p.refillPool(p.cfg.Memento.PagePoolRefillPages); err != nil && len(p.pool) == 0 {
 			return 0, err
@@ -197,19 +232,24 @@ func (p *PageAllocator) AllocArena(c int) (*Arena, uint64, error) {
 	size := p.layout.ArenaBytes(c)
 	va := p.bump[c]
 	if va+size > p.layout.StripeStart(c)+p.layout.stripeBytes {
-		return nil, cycles, ErrRegionExhausted
+		return nil, cycles, simerr.WrapVA(ErrRegionExhausted, "arena-alloc", va)
 	}
 	p.bump[c] = va + size
 
 	frame, err := p.popPage()
 	if err != nil {
-		return nil, cycles, err
+		// Nothing was mapped: un-reserve the VA so a failed request leaves
+		// the stripe exactly as it found it.
+		p.bump[c] = va
+		return nil, cycles, simerr.WrapVA(err, "arena-alloc", va)
 	}
 	vpn := va >> config.PageShift
 	instCycles, err := p.installMapping(vpn, frame)
 	cycles += instCycles
 	if err != nil {
-		return nil, cycles, err
+		p.bump[c] = va
+		p.pool = append(p.pool, frame)
+		return nil, cycles, simerr.WrapVA(err, "arena-alloc", va)
 	}
 	p.stats.PagesBacked++
 	p.noteBacked(1)
@@ -275,11 +315,14 @@ func (p *PageAllocator) installMapping(vpn, frame uint64) (uint64, error) {
 // Walk services a flagged page walk for a Memento-region VPN (Section 3.2):
 // valid entries are returned; invalid leaf entries trigger on-demand
 // physical backing from the pool; invalid interior entries grow the table.
-// It implements tlb.Walker for the machine's MMU.
-func (p *PageAllocator) Walk(vpn uint64) (pfn uint64, cycles uint64, ok bool) {
+// It implements tlb.Walker for the machine's MMU: the error wraps
+// simerr.ErrSegfault for addresses outside any handed-out arena and
+// simerr.ErrOutOfMemory when first-touch backing found the pool and the OS
+// both dry.
+func (p *PageAllocator) Walk(vpn uint64) (pfn uint64, cycles uint64, err error) {
 	va := vpn << config.PageShift
 	if !p.layout.Contains(va) {
-		return 0, 0, false
+		return 0, 0, simerr.WrapVA(simerr.ErrSegfault, "memento-walk", va)
 	}
 	p.stats.Walks++
 	p.shootdownVec |= 1 // single-core default: core 0 has walked
@@ -287,24 +330,27 @@ func (p *PageAllocator) Walk(vpn uint64) (pfn uint64, cycles uint64, ok bool) {
 	// bump pointer were never handed out.
 	c := int((va - p.layout.MRS) / p.layout.stripeBytes)
 	if va >= p.bump[c] {
-		return 0, 0, false
+		return 0, 0, simerr.WrapVA(simerr.ErrSegfault, "memento-walk", va)
 	}
 	pfn, walkCycles, mapped := p.lookup(vpn)
 	cycles += walkCycles
 	if mapped {
 		p.stats.WalkCycles += cycles
-		return pfn, cycles, true
+		return pfn, cycles, nil
 	}
 	// First touch: back the page from the pool.
-	frame, err := p.popPage()
-	if err != nil {
-		return 0, cycles, false
+	frame, perr := p.popPage()
+	if perr != nil {
+		p.stats.WalkCycles += cycles
+		return 0, cycles, simerr.WrapVA(perr, "memento-walk", va)
 	}
 	cycles += p.cfg.Cost.MementoPageWalkServiceCycles
-	instCycles, err := p.installMapping(vpn, frame)
+	instCycles, perr := p.installMapping(vpn, frame)
 	cycles += instCycles
-	if err != nil {
-		return 0, cycles, false
+	if perr != nil {
+		p.pool = append(p.pool, frame)
+		p.stats.WalkCycles += cycles
+		return 0, cycles, simerr.WrapVA(perr, "memento-walk", va)
 	}
 	p.stats.PagesBacked++
 	p.stats.WalkBackings++
@@ -312,7 +358,7 @@ func (p *PageAllocator) Walk(vpn uint64) (pfn uint64, cycles uint64, ok bool) {
 	p.stats.BackingCycles += cycles
 	p.noteBacked(1)
 	p.k.CountUserPage(1)
-	return frame, cycles, true
+	return frame, cycles, nil
 }
 
 // lookup walks the Memento table read-only.
@@ -356,8 +402,8 @@ func (p *PageAllocator) FreeArena(a *Arena) uint64 {
 		p.residentPages--
 		if p.Shootdown != nil && p.shootdownVec != 0 {
 			p.Shootdown(vpn)
+			p.stats.Shootdowns++
 		}
-		p.stats.Shootdowns++
 	}
 	p.stats.ArenaFrees++
 	return cycles

@@ -5,14 +5,17 @@ import (
 	"sort"
 
 	"memento/internal/config"
+	"memento/internal/simerr"
 )
 
 // Translator resolves virtual addresses for the object allocator's
 // free-miss path and for data accesses. The machine implements it with the
 // TLB system, dispatching to the Memento page allocator's walker for
-// region addresses (the MPTR-rooted walk) and to the kernel otherwise.
+// region addresses (the MPTR-rooted walk) and to the kernel otherwise. The
+// error follows the tlb.Walker taxonomy: simerr.ErrSegfault for unmapped
+// addresses, simerr.ErrOutOfMemory for backing failures.
 type Translator interface {
-	Translate(va uint64) (pa uint64, cycles uint64, ok bool)
+	Translate(va uint64) (pa uint64, cycles uint64, err error)
 }
 
 // Unit is one core's Memento hardware: the object allocator with its HOT,
@@ -44,11 +47,13 @@ type Unit struct {
 // crossFreeBufCap is the batch size of the non-local free buffer.
 const crossFreeBufCap = 64
 
-// NewUnit builds the Memento hardware for one core/process.
-func NewUnit(cfg config.Machine, layout *Layout, pa *PageAllocator, mem Mem, tr Translator) *Unit {
+// NewUnit builds the Memento hardware for one core/process. The error wraps
+// simerr.ErrInvalidConfig when the configured arena geometry does not match
+// the fixed 256-bit header bitmap.
+func NewUnit(cfg config.Machine, layout *Layout, pa *PageAllocator, mem Mem, tr Translator) (*Unit, error) {
 	if cfg.Memento.ObjectsPerArena != nObjs {
-		panic(fmt.Sprintf("core: configured %d objects per arena; bitmap supports %d",
-			cfg.Memento.ObjectsPerArena, nObjs))
+		return nil, fmt.Errorf("core: configured %d objects per arena; bitmap supports %d: %w",
+			cfg.Memento.ObjectsPerArena, nObjs, simerr.ErrInvalidConfig)
 	}
 	u := &Unit{
 		cfg:         cfg,
@@ -62,7 +67,7 @@ func NewUnit(cfg config.Machine, layout *Layout, pa *PageAllocator, mem Mem, tr 
 	for i := range u.hot {
 		u.hot[i].full.full = true
 	}
-	return u
+	return u, nil
 }
 
 // Layout exposes the region geometry.
@@ -209,10 +214,11 @@ func (u *Unit) ObjFree(va uint64) (cycles uint64, err error) {
 		return cycles, ErrDoubleFree // arena already reclaimed
 	}
 	var off uint64
-	_, tc, tok := u.translator.Translate(arenaBase)
+	_, tc, terr := u.translator.Translate(arenaBase)
 	off += tc
-	if !tok {
-		return cycles, ErrBadAddress
+	if terr != nil {
+		u.stats.OffCriticalCycles += off
+		return cycles, terr
 	}
 	off += u.mem.Access(a.HeaderPA, false)
 	if !a.Clear(idx) {
@@ -262,18 +268,19 @@ func (u *Unit) decrementBypass(a *Arena, class int, va uint64) {
 // AccessData performs an application load/store to a Memento-region
 // address: translate (first touches are backed by the page allocator's
 // flagged walk), then either instantiate the line zeroed in the LLC (main
-// memory bypass, Section 3.3) or perform a regular access.
-func (u *Unit) AccessData(va uint64, write bool) (cycles uint64, ok bool) {
-	pa, tc, ok := u.translator.Translate(va)
-	if !ok {
-		return tc, false
+// memory bypass, Section 3.3) or perform a regular access. The error
+// follows the Translator taxonomy.
+func (u *Unit) AccessData(va uint64, write bool) (cycles uint64, err error) {
+	pa, tc, err := u.translator.Translate(va)
+	if err != nil {
+		return tc, err
 	}
 	cycles = tc
 	class, arenaBase, _, _ := u.layout.Decompose(va)
 	a, found := u.arenaByBase[arenaBase]
 	if !found {
 		// Not a live arena (e.g. header space): plain access.
-		return cycles + u.mem.Access(pa, write), true
+		return cycles + u.mem.Access(pa, write), nil
 	}
 	line := u.layout.BodyLineIndex(arenaBase, va)
 	if u.cfg.Memento.BypassEnabled && u.hotResident(class, a) && line >= int(a.BypassCtr) {
@@ -285,7 +292,7 @@ func (u *Unit) AccessData(va uint64, write bool) (cycles uint64, ok bool) {
 			ctr = max
 		}
 		a.BypassCtr = uint16(ctr)
-		return cycles, true
+		return cycles, nil
 	}
 	if line >= int(a.BypassCtr) {
 		// Track the access frontier even when bypass cannot apply.
@@ -296,7 +303,7 @@ func (u *Unit) AccessData(va uint64, write bool) (cycles uint64, ok bool) {
 		}
 		a.BypassCtr = uint16(ctr)
 	}
-	return cycles + u.mem.Access(pa, write), true
+	return cycles + u.mem.Access(pa, write), nil
 }
 
 // hotResident reports whether the arena is the HOT-cached one for its
@@ -455,7 +462,7 @@ var _ Translator = (nopTranslator{})
 // nopTranslator is a zero-cost identity translator for tests.
 type nopTranslator struct{}
 
-func (nopTranslator) Translate(va uint64) (uint64, uint64, bool) { return va, 0, true }
+func (nopTranslator) Translate(va uint64) (uint64, uint64, error) { return va, 0, nil }
 
 // NopTranslator returns a zero-cost identity translator, useful for tests
 // and microbenchmarks that do not model an MMU.

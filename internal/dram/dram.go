@@ -27,6 +27,32 @@ type Stats struct {
 	BusyCycles uint64
 }
 
+// Sub returns the field-wise difference s - o: the activity between two
+// snapshots. Arithmetic wraps (uint64 modular), so sums of deltas match the
+// cumulative counters exactly.
+func (s Stats) Sub(o Stats) Stats {
+	s.Reads -= o.Reads
+	s.Writes -= o.Writes
+	s.ReadBytes -= o.ReadBytes
+	s.WriteBytes -= o.WriteBytes
+	s.RowHits -= o.RowHits
+	s.RowMisses -= o.RowMisses
+	s.BusyCycles -= o.BusyCycles
+	return s
+}
+
+// Add returns the field-wise sum s + o.
+func (s Stats) Add(o Stats) Stats {
+	s.Reads += o.Reads
+	s.Writes += o.Writes
+	s.ReadBytes += o.ReadBytes
+	s.WriteBytes += o.WriteBytes
+	s.RowHits += o.RowHits
+	s.RowMisses += o.RowMisses
+	s.BusyCycles += o.BusyCycles
+	return s
+}
+
 // TotalBytes returns read + write traffic.
 func (s Stats) TotalBytes() uint64 { return s.ReadBytes + s.WriteBytes }
 

@@ -1,0 +1,87 @@
+package faultinject
+
+import "testing"
+
+func TestZeroHookNeverFires(t *testing.T) {
+	var h Hook
+	for n := uint64(1); n <= 100; n++ {
+		if h.FailFrameAlloc(n, n%7) {
+			t.Fatalf("zero hook fired at attempt %d", n)
+		}
+	}
+	if h.Attempts() != 100 {
+		t.Fatalf("attempts = %d, want 100", h.Attempts())
+	}
+	if h.Injected() != 0 {
+		t.Fatalf("injected = %d, want 0", h.Injected())
+	}
+}
+
+func TestFailNthFiresExactlyOnce(t *testing.T) {
+	h := FailNth(5)
+	var fired []uint64
+	// The caller-side counter is deliberately junk: built-in triggers
+	// count the attempts they observe.
+	for n := uint64(1); n <= 20; n++ {
+		if h.FailFrameAlloc(99, 1000) {
+			fired = append(fired, n)
+		}
+	}
+	if len(fired) != 1 || fired[0] != 5 {
+		t.Fatalf("FailNth(5) fired at %v, want exactly [5]", fired)
+	}
+	if h.Injected() != 1 {
+		t.Fatalf("injected = %d, want 1", h.Injected())
+	}
+}
+
+func TestFailBelowUsesFreeCount(t *testing.T) {
+	h := FailBelow(4)
+	// Free count above (or at) the threshold: never fires.
+	for n := uint64(1); n <= 5; n++ {
+		if h.FailFrameAlloc(n, 4) {
+			t.Fatal("fired with free == threshold")
+		}
+	}
+	// Below the threshold: fires on every attempt.
+	for n := uint64(6); n <= 10; n++ {
+		if !h.FailFrameAlloc(n, 3) {
+			t.Fatal("did not fire below threshold")
+		}
+	}
+	if h.Injected() != 5 {
+		t.Fatalf("injected = %d, want 5", h.Injected())
+	}
+}
+
+func TestFailAfterPinsExhaustionPoint(t *testing.T) {
+	h := FailAfter(3)
+	for n := uint64(1); n <= 3; n++ {
+		if h.FailFrameAlloc(n, 1000) {
+			t.Fatalf("fired at attempt %d <= 3", n)
+		}
+	}
+	for n := uint64(4); n <= 10; n++ {
+		if !h.FailFrameAlloc(n, 1000) {
+			t.Fatalf("did not fire at attempt %d > 3", n)
+		}
+	}
+	if h.Attempts() != 10 || h.Injected() != 7 {
+		t.Fatalf("attempts/injected = %d/%d, want 10/7", h.Attempts(), h.Injected())
+	}
+}
+
+func TestHooksAreDeterministic(t *testing.T) {
+	run := func() (attempts, injected uint64) {
+		h := FailAfter(2)
+		for n := uint64(1); n <= 8; n++ {
+			h.FailFrameAlloc(n, 8-n)
+		}
+		return h.Attempts(), h.Injected()
+	}
+	a1, i1 := run()
+	a2, i2 := run()
+	if a1 != a2 || i1 != i2 {
+		t.Fatalf("hook not deterministic: %d/%d vs %d/%d", a1, i1, a2, i2)
+	}
+}

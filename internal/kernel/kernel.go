@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"memento/internal/config"
+	"memento/internal/simerr"
 	"memento/internal/telemetry"
 )
 
@@ -42,6 +43,39 @@ type Stats struct {
 
 // KernelMMCycles returns all kernel memory-management cycles.
 func (s Stats) KernelMMCycles() uint64 { return s.SyscallCycles + s.FaultCycles }
+
+// Sub returns the field-wise difference s - o: the activity between two
+// snapshots. Arithmetic wraps (uint64 modular); for gauges like
+// PageTablePages a delta may represent a net decrease, and summing the
+// per-process deltas still reproduces the cumulative counter exactly.
+func (s Stats) Sub(o Stats) Stats {
+	s.Mmaps -= o.Mmaps
+	s.Munmaps -= o.Munmaps
+	s.PageFaults -= o.PageFaults
+	s.SyscallCycles -= o.SyscallCycles
+	s.FaultCycles -= o.FaultCycles
+	s.UserPagesAllocated -= o.UserPagesAllocated
+	s.KernelPagesAllocated -= o.KernelPagesAllocated
+	s.PageTablePages -= o.PageTablePages
+	s.ZeroedPages -= o.ZeroedPages
+	s.Shootdowns -= o.Shootdowns
+	return s
+}
+
+// Add returns the field-wise sum s + o.
+func (s Stats) Add(o Stats) Stats {
+	s.Mmaps += o.Mmaps
+	s.Munmaps += o.Munmaps
+	s.PageFaults += o.PageFaults
+	s.SyscallCycles += o.SyscallCycles
+	s.FaultCycles += o.FaultCycles
+	s.UserPagesAllocated += o.UserPagesAllocated
+	s.KernelPagesAllocated += o.KernelPagesAllocated
+	s.PageTablePages += o.PageTablePages
+	s.ZeroedPages += o.ZeroedPages
+	s.Shootdowns += o.Shootdowns
+	return s
+}
 
 // Counters returns the stats in their stable telemetry wire form.
 func (s Stats) Counters() telemetry.KernelCounters {
@@ -90,6 +124,16 @@ const vmasPerSlabPage = 12
 // far from the Memento region.
 const mmapBaseVPN = 0x7f0000000
 
+// AllocHook intercepts physical frame allocations for fault injection (see
+// internal/faultinject for ready-made triggers).
+type AllocHook interface {
+	// FailFrameAlloc is consulted before the nth (1-based, cumulative over
+	// the kernel's lifetime) frame allocation while free frames remain
+	// available; returning true makes the allocation fail exactly as if
+	// physical memory were exhausted.
+	FailFrameAlloc(n uint64, free uint64) bool
+}
+
 // Kernel is the simulated OS memory manager shared by all address spaces on
 // a machine.
 type Kernel struct {
@@ -104,6 +148,10 @@ type Kernel struct {
 	// the attachment state so hot paths test one byte, not an interface.
 	probe  telemetry.Probe
 	probed bool
+	// allocHook, when non-nil, may veto frame allocations (fault
+	// injection); frameAllocs counts allocation attempts for its trigger.
+	allocHook   AllocHook
+	frameAllocs uint64
 }
 
 // SetProbe attaches a telemetry probe (nil detaches).
@@ -114,6 +162,28 @@ func (k *Kernel) SetProbe(p telemetry.Probe) {
 
 // SetForcePopulate toggles eager population of all mappings (§6.6).
 func (k *Kernel) SetForcePopulate(v bool) { k.forcePopulate = v }
+
+// SetAllocHook attaches a fault-injection hook to the frame allocator (nil
+// detaches). The hook sees every frame allocation: address-space metadata,
+// page-table pages, data pages, and Memento pool refills.
+func (k *Kernel) SetAllocHook(h AllocHook) { k.allocHook = h }
+
+// allocFrame is the single gateway to the buddy allocator: it counts the
+// attempt, consults the fault-injection hook, and returns a typed error on
+// exhaustion (real or injected).
+func (k *Kernel) allocFrame(order int) (uint64, error) {
+	k.frameAllocs++
+	if k.allocHook != nil && k.allocHook.FailFrameAlloc(k.frameAllocs, k.buddy.FreeFrames()) {
+		return 0, fmt.Errorf("kernel: frame allocation %d vetoed: %w (%w)",
+			k.frameAllocs, simerr.ErrOutOfMemory, simerr.ErrFaultInjected)
+	}
+	frame, ok := k.buddy.Alloc(order)
+	if !ok {
+		return 0, fmt.Errorf("kernel: no free 2^%d-frame block (%d frames free): %w",
+			order, k.buddy.FreeFrames(), simerr.ErrOutOfMemory)
+	}
+	return frame, nil
+}
 
 // New creates a kernel managing the machine's physical memory. To keep the
 // buddy metadata proportionate to simulated footprints, the managed range is
@@ -137,11 +207,12 @@ func (k *Kernel) Stats() Stats { return k.stats }
 func (k *Kernel) FreeFrames() uint64 { return k.buddy.FreeFrames() }
 
 // NewAddressSpace creates a process address space. One metadata frame is
-// charged to the kernel for VMA bookkeeping.
-func (k *Kernel) NewAddressSpace() *AddressSpace {
-	frame, ok := k.buddy.Alloc(0)
-	if !ok {
-		panic("kernel: out of physical memory creating address space")
+// charged to the kernel for VMA bookkeeping. On an exhausted machine the
+// error wraps simerr.ErrOutOfMemory.
+func (k *Kernel) NewAddressSpace() (*AddressSpace, error) {
+	frame, err := k.allocFrame(0)
+	if err != nil {
+		return nil, simerr.Wrap(err, "new-address-space")
 	}
 	k.stats.KernelPagesAllocated++
 	return &AddressSpace{
@@ -149,7 +220,42 @@ func (k *Kernel) NewAddressSpace() *AddressSpace {
 		pt:        &PageTable{},
 		cursor:    mmapBaseVPN,
 		metaFrame: frame,
+	}, nil
+}
+
+// DestroyAddressSpace tears down an address space without charging cycles:
+// every mapped data page is returned to the buddy allocator, page-table
+// pages are reaped, and the VMA metadata frame is freed. It is the
+// error-path and end-of-run counterpart to ReleaseAll — safe on partially
+// built or already-released address spaces, and idempotent. TLB entries are
+// NOT invalidated here (no shootdown cost model applies off the simulated
+// path); the machine flushes its TLBs after destroying an address space.
+func (k *Kernel) DestroyAddressSpace(as *AddressSpace) error {
+	if as == nil {
+		return nil
 	}
+	var firstErr error
+	for _, v := range as.vmas {
+		for vpn := v.startVPN; vpn < v.endVPN; vpn++ {
+			pfn, _, present := as.pt.clear(vpn, nopMem{})
+			if !present {
+				continue
+			}
+			if err := k.buddy.Free(pfn); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			as.residentPages--
+		}
+	}
+	as.vmas = as.vmas[:0]
+	k.reapEmpty(as.pt)
+	if as.metaFrame != 0 {
+		if err := k.buddy.Free(as.metaFrame); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		as.metaFrame = 0
+	}
+	return firstErr
 }
 
 // vmaAccess charges the memory traffic of touching the VMA structures
@@ -199,9 +305,14 @@ func (k *Kernel) Mmap(as *AddressSpace, length uint64, populate bool) (va uint64
 
 	if populate {
 		for vpn := start; vpn < start+pages; vpn++ {
-			c, ok := k.populatePage(as, vpn)
-			if !ok {
-				return 0, cycles, errors.New("kernel: out of memory populating mapping")
+			c, err := k.populatePage(as, vpn)
+			if err != nil {
+				// Record the work performed before the failure so an
+				// exhausted run still reports the syscall activity that
+				// caused it. The partially populated mapping stays in the
+				// address space; DestroyAddressSpace reclaims it.
+				k.stats.SyscallCycles += cycles
+				return 0, cycles, simerr.WrapVA(err, "mmap-populate", vpn<<config.PageShift)
 			}
 			// Populating still pays per-page charging work (memcg, rmap)
 			// that the fault handler would otherwise do; only the trap is
@@ -216,26 +327,32 @@ func (k *Kernel) Mmap(as *AddressSpace, length uint64, populate bool) (va uint64
 	return start << config.PageShift, cycles, nil
 }
 
-// populatePage allocates, zeroes, and maps one page (no trap cost).
-func (k *Kernel) populatePage(as *AddressSpace, vpn uint64) (cycles uint64, ok bool) {
-	frame, ok := k.buddy.Alloc(0)
-	if !ok {
-		return 0, false
+// populatePage allocates, zeroes, and maps one page (no trap cost). The
+// error wraps simerr.ErrOutOfMemory when either the data frame or a
+// page-table frame cannot be allocated.
+func (k *Kernel) populatePage(as *AddressSpace, vpn uint64) (cycles uint64, err error) {
+	frame, err := k.allocFrame(0)
+	if err != nil {
+		return 0, err
 	}
 	cycles += k.cfg.InstrCycles(k.cfg.Cost.BuddyAllocInstrs)
 	cycles += k.zeroPage(frame)
 	k.stats.ZeroedPages++
-	c, ok := k.install(as.pt, vpn, frame)
+	c, err := k.install(as.pt, vpn, frame)
 	cycles += c
-	if !ok {
-		return cycles, false
+	if err != nil {
+		// The data frame was never mapped; hand it straight back.
+		if ferr := k.buddy.Free(frame); ferr != nil {
+			return cycles, errors.Join(err, ferr)
+		}
+		return cycles, err
 	}
 	k.stats.UserPagesAllocated++
 	as.residentPages++
 	if as.residentPages > as.peakResident {
 		as.peakResident = as.residentPages
 	}
-	return cycles, true
+	return cycles, nil
 }
 
 // Munmap removes the mapping at va (which must be a mapping start) and
@@ -270,10 +387,12 @@ func (k *Kernel) Munmap(as *AddressSpace, va, length uint64) (cycles uint64, err
 		}
 		cycles += k.cfg.InstrCycles(k.cfg.Cost.BuddyFreeInstrs)
 		as.residentPages--
+		// Count only dispatched shootdowns, keeping this counter equal to
+		// the TLB system's receive-side Stats().Shootdowns.
 		if as.Shootdown != nil {
 			as.Shootdown(vpn)
+			k.stats.Shootdowns++
 		}
-		k.stats.Shootdowns++
 	}
 	_, reapCycles := k.reapEmpty(as.pt)
 	cycles += reapCycles
@@ -305,34 +424,40 @@ func (k *Kernel) ReleaseAll(as *AddressSpace) (cycles uint64, err error) {
 // Walk implements tlb.Walker for the address space: a hardware page walk
 // that, on a non-present PTE inside a valid VMA, takes a page fault and
 // runs the kernel handler (trap, VMA lookup, allocation, zeroing, install).
-func (as *AddressSpace) Walk(vpn uint64) (pfn uint64, cycles uint64, ok bool) {
+// The error distinguishes a genuine segfault (no VMA covers the address,
+// wraps simerr.ErrSegfault) from an allocation failure inside the fault
+// handler (wraps simerr.ErrOutOfMemory).
+func (as *AddressSpace) Walk(vpn uint64) (pfn uint64, cycles uint64, err error) {
 	k := as.k
 	pfn, walkCycles, present := as.pt.walk(vpn, k.mem)
 	cycles = walkCycles
 	if present {
-		return pfn, cycles, true
+		return pfn, cycles, nil
 	}
 	// Page fault path.
 	if _, covered := as.findVMA(vpn); !covered {
-		return 0, cycles, false // genuine segfault
+		return 0, cycles, simerr.WrapVA(simerr.ErrSegfault, "page-walk", vpn<<config.PageShift)
 	}
 	faultCycles := k.cfg.Cost.PageFaultTrapCycles
 	faultCycles += k.cfg.InstrCycles(k.cfg.Cost.PageFaultHandlerInstrs)
 	faultCycles += as.vmaAccess(4, false)
-	c, allocOK := k.populatePage(as, vpn)
+	c, perr := k.populatePage(as, vpn)
 	faultCycles += c
-	if !allocOK {
-		return 0, cycles + faultCycles, false
-	}
+	// The fault happened and its handler ran whether or not the allocation
+	// succeeded: count it either way, so exhausted runs report the fault
+	// activity that drove them out of memory.
 	k.stats.PageFaults++
 	k.stats.FaultCycles += faultCycles
 	cycles += faultCycles
 	if k.probed {
 		k.probe.Count(telemetry.CtrPageFault, 1, faultCycles)
 	}
+	if perr != nil {
+		return 0, cycles, simerr.WrapVA(perr, "page-fault", vpn<<config.PageShift)
+	}
 	// Re-walk is folded into the install cost (the handler returns the PFN).
 	pfn, _, _ = as.pt.walk(vpn, nopMem{})
-	return pfn, cycles, true
+	return pfn, cycles, nil
 }
 
 // ResidentPages returns the current number of mapped data pages.
@@ -358,18 +483,20 @@ func (as *AddressSpace) CoveredVPN(vpn uint64) bool {
 // allocator's pool (Section 3.2: "a simple physical page pool consisting of
 // free physical pages replenished by the OS on-demand"). The replenishment
 // happens off the function's critical path, so only the frames and a small
-// bookkeeping cost are returned.
-func (k *Kernel) AllocPoolPages(n int) (frames []uint64, cycles uint64, ok bool) {
+// bookkeeping cost are returned. On exhaustion the frames allocated so far
+// are still returned alongside an error wrapping simerr.ErrOutOfMemory —
+// the caller owns them.
+func (k *Kernel) AllocPoolPages(n int) (frames []uint64, cycles uint64, err error) {
 	frames = make([]uint64, 0, n)
 	for i := 0; i < n; i++ {
-		f, allocOK := k.buddy.Alloc(0)
-		if !allocOK {
-			return frames, cycles, false
+		f, aerr := k.allocFrame(0)
+		if aerr != nil {
+			return frames, cycles, simerr.Wrap(aerr, "pool-refill")
 		}
 		frames = append(frames, f)
 		cycles += k.cfg.InstrCycles(k.cfg.Cost.BuddyAllocInstrs)
 	}
-	return frames, cycles, true
+	return frames, cycles, nil
 }
 
 // FreePoolPages returns frames from the Memento pool to the buddy.

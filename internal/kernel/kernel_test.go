@@ -1,6 +1,7 @@
 package kernel
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -8,6 +9,7 @@ import (
 	"memento/internal/cache"
 	"memento/internal/config"
 	"memento/internal/dram"
+	"memento/internal/simerr"
 )
 
 func newKernel() (*Kernel, *cache.Hierarchy) {
@@ -147,7 +149,7 @@ func TestBuddyIntegrityProperty(t *testing.T) {
 
 func TestMmapAndFault(t *testing.T) {
 	k, _ := newKernel()
-	as := k.NewAddressSpace()
+	as, _ := k.NewAddressSpace()
 	va, cycles, err := k.Mmap(as, 4*config.PageSize, false)
 	if err != nil {
 		t.Fatal(err)
@@ -163,9 +165,9 @@ func TestMmapAndFault(t *testing.T) {
 		t.Fatal("VMA must cover the mapped range")
 	}
 	// First touch: page fault.
-	pfn, walkCycles, ok := as.Walk(vpn)
-	if !ok {
-		t.Fatal("fault-in failed")
+	pfn, walkCycles, werr := as.Walk(vpn)
+	if werr != nil {
+		t.Fatal("fault-in failed:", werr)
 	}
 	if pfn < firstUsableFrame {
 		t.Fatalf("pfn %d inside reserved range", pfn)
@@ -177,8 +179,8 @@ func TestMmapAndFault(t *testing.T) {
 		t.Fatalf("page faults = %d, want 1", k.Stats().PageFaults)
 	}
 	// Second touch: plain walk, far cheaper, same PFN.
-	pfn2, c2, ok := as.Walk(vpn)
-	if !ok || pfn2 != pfn {
+	pfn2, c2, werr2 := as.Walk(vpn)
+	if werr2 != nil || pfn2 != pfn {
 		t.Fatalf("re-walk: pfn %d vs %d", pfn2, pfn)
 	}
 	if c2 >= walkCycles {
@@ -188,9 +190,9 @@ func TestMmapAndFault(t *testing.T) {
 
 func TestWalkOutsideVMAFails(t *testing.T) {
 	k, _ := newKernel()
-	as := k.NewAddressSpace()
-	if _, _, ok := as.Walk(0xdead); ok {
-		t.Fatal("walk outside any VMA must fail")
+	as, _ := k.NewAddressSpace()
+	if _, _, err := as.Walk(0xdead); !errors.Is(err, simerr.ErrSegfault) {
+		t.Fatalf("walk outside any VMA must fail with ErrSegfault, got %v", err)
 	}
 	if k.Stats().PageFaults != 0 {
 		t.Fatal("segfault is not a handled page fault")
@@ -199,7 +201,7 @@ func TestWalkOutsideVMAFails(t *testing.T) {
 
 func TestMmapPopulate(t *testing.T) {
 	k, _ := newKernel()
-	as := k.NewAddressSpace()
+	as, _ := k.NewAddressSpace()
 	va, _, err := k.Mmap(as, 8*config.PageSize, true)
 	if err != nil {
 		t.Fatal(err)
@@ -219,7 +221,7 @@ func TestMmapPopulate(t *testing.T) {
 
 func TestMunmapFreesEverything(t *testing.T) {
 	k, _ := newKernel()
-	as := k.NewAddressSpace()
+	as, _ := k.NewAddressSpace()
 	freeBefore := k.FreeFrames()
 	va, _, err := k.Mmap(as, 16*config.PageSize, true)
 	if err != nil {
@@ -250,7 +252,7 @@ func TestMunmapFreesEverything(t *testing.T) {
 
 func TestMunmapUnmappedFails(t *testing.T) {
 	k, _ := newKernel()
-	as := k.NewAddressSpace()
+	as, _ := k.NewAddressSpace()
 	if _, err := k.Munmap(as, 0x5000, config.PageSize); err == nil {
 		t.Fatal("munmap of unmapped region must fail")
 	}
@@ -258,7 +260,7 @@ func TestMunmapUnmappedFails(t *testing.T) {
 
 func TestReleaseAll(t *testing.T) {
 	k, _ := newKernel()
-	as := k.NewAddressSpace()
+	as, _ := k.NewAddressSpace()
 	before := k.FreeFrames()
 	for i := 0; i < 5; i++ {
 		if _, _, err := k.Mmap(as, 4*config.PageSize, true); err != nil {
@@ -278,7 +280,7 @@ func TestReleaseAll(t *testing.T) {
 
 func TestFaultGeneratesDRAMTrafficForZeroing(t *testing.T) {
 	k, h := newKernel()
-	as := k.NewAddressSpace()
+	as, _ := k.NewAddressSpace()
 	va, _, _ := k.Mmap(as, config.PageSize, false)
 	before := h.Mem.Stats().TotalBytes()
 	as.Walk(va >> config.PageShift)
@@ -290,7 +292,7 @@ func TestFaultGeneratesDRAMTrafficForZeroing(t *testing.T) {
 
 func TestStatsAccounting(t *testing.T) {
 	k, _ := newKernel()
-	as := k.NewAddressSpace()
+	as, _ := k.NewAddressSpace()
 	va, _, _ := k.Mmap(as, 4*config.PageSize, false)
 	for i := uint64(0); i < 4; i++ {
 		as.Walk(va>>config.PageShift + i)
@@ -315,9 +317,9 @@ func TestStatsAccounting(t *testing.T) {
 
 func TestAllocPoolPages(t *testing.T) {
 	k, _ := newKernel()
-	frames, cycles, ok := k.AllocPoolPages(64)
-	if !ok || len(frames) != 64 {
-		t.Fatalf("pool alloc: ok=%v n=%d", ok, len(frames))
+	frames, cycles, err := k.AllocPoolPages(64)
+	if err != nil || len(frames) != 64 {
+		t.Fatalf("pool alloc: err=%v n=%d", err, len(frames))
 	}
 	if cycles == 0 {
 		t.Fatal("pool alloc must cost cycles")
@@ -336,7 +338,7 @@ func TestAllocPoolPages(t *testing.T) {
 
 func TestPeakResident(t *testing.T) {
 	k, _ := newKernel()
-	as := k.NewAddressSpace()
+	as, _ := k.NewAddressSpace()
 	va, _, _ := k.Mmap(as, 8*config.PageSize, true)
 	if as.PeakResidentPages() != 8 {
 		t.Fatalf("peak = %d, want 8", as.PeakResidentPages())
@@ -352,7 +354,7 @@ func TestFrameConservationProperty(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		k, _ := newKernel()
-		as := k.NewAddressSpace()
+		as, _ := k.NewAddressSpace()
 		before := k.FreeFrames()
 		type mapping struct{ va, length uint64 }
 		var maps []mapping
@@ -390,13 +392,13 @@ func TestFrameConservationProperty(t *testing.T) {
 
 func TestPageTableWalkDepth(t *testing.T) {
 	k, _ := newKernel()
-	as := k.NewAddressSpace()
+	as, _ := k.NewAddressSpace()
 	va, _, _ := k.Mmap(as, config.PageSize, true)
 	// A warm 4-level walk reads 4 entries; with a warm cache that's 4 L1
 	// hits = 8 cycles.
-	_, cycles, ok := as.Walk(va >> config.PageShift)
-	if !ok {
-		t.Fatal("walk failed")
+	_, cycles, werr := as.Walk(va >> config.PageShift)
+	if werr != nil {
+		t.Fatal("walk failed:", werr)
 	}
 	if cycles < 4*2 {
 		t.Fatalf("walk cycles = %d, want >= 8 (4 levels x L1 hit)", cycles)

@@ -39,11 +39,11 @@ type PageTable struct {
 
 // newPTNode allocates one table page from the buddy allocator and zeroes it
 // through mem (kernels zero new page-table pages), returning the node and
-// the cycle cost.
-func (k *Kernel) newPTNode(leaf bool) (*ptNode, uint64, bool) {
-	frame, ok := k.buddy.Alloc(0)
-	if !ok {
-		return nil, 0, false
+// the cycle cost. The error wraps simerr.ErrOutOfMemory.
+func (k *Kernel) newPTNode(leaf bool) (*ptNode, uint64, error) {
+	frame, err := k.allocFrame(0)
+	if err != nil {
+		return nil, 0, err
 	}
 	cycles := k.cfg.InstrCycles(k.cfg.Cost.BuddyAllocInstrs)
 	cycles += k.zeroPage(frame)
@@ -55,7 +55,7 @@ func (k *Kernel) newPTNode(leaf bool) (*ptNode, uint64, bool) {
 	}
 	k.stats.KernelPagesAllocated++
 	k.stats.PageTablePages++
-	return n, cycles, true
+	return n, cycles, nil
 }
 
 // streamZeroer is the non-temporal zeroing path the cache hierarchy offers.
@@ -110,13 +110,14 @@ func (pt *PageTable) walk(vpn uint64, mem Mem) (pfn uint64, cycles uint64, ok bo
 }
 
 // install maps vpn -> pfn, creating intermediate levels as needed. Returns
-// the cycle cost. Fails only when physical memory for table pages runs out.
-func (k *Kernel) install(pt *PageTable, vpn, pfn uint64) (uint64, bool) {
+// the cycle cost. Fails only when physical memory for table pages runs out
+// (the error wraps simerr.ErrOutOfMemory).
+func (k *Kernel) install(pt *PageTable, vpn, pfn uint64) (uint64, error) {
 	var cycles uint64
 	if pt.root == nil {
-		n, c, ok := k.newPTNode(false)
-		if !ok {
-			return cycles, false
+		n, c, err := k.newPTNode(false)
+		if err != nil {
+			return cycles, err
 		}
 		pt.root = n
 		cycles += c
@@ -127,9 +128,9 @@ func (k *Kernel) install(pt *PageTable, vpn, pfn uint64) (uint64, bool) {
 		cycles += k.mem.Access(node.pfn<<config.PageShift+idx*8, false)
 		if node.children[idx] == nil {
 			leaf := level == 1
-			n, c, ok := k.newPTNode(leaf)
-			if !ok {
-				return cycles, false
+			n, c, err := k.newPTNode(leaf)
+			if err != nil {
+				return cycles, err
 			}
 			cycles += c
 			// Write the new entry into this level.
@@ -141,7 +142,7 @@ func (k *Kernel) install(pt *PageTable, vpn, pfn uint64) (uint64, bool) {
 	idx := ptIndex(vpn, 0)
 	cycles += k.mem.Access(node.pfn<<config.PageShift+idx*8, true)
 	node.pte[idx] = pfn + 1
-	return cycles, true
+	return cycles, nil
 }
 
 // clear unmaps vpn, returning the old PFN and the cycle cost of the PTE

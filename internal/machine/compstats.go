@@ -1,0 +1,49 @@
+package machine
+
+import (
+	"memento/internal/cache"
+	"memento/internal/dram"
+	"memento/internal/kernel"
+	"memento/internal/tlb"
+)
+
+// componentStats is one snapshot of every machine-global hardware and kernel
+// counter. RunMultiProcess diffs snapshots taken around each process's
+// quanta so that per-process results report only the activity that process
+// caused, instead of the machine-cumulative totals all siblings share.
+type componentStats struct {
+	dram dram.Stats
+	hier cache.Stats
+	tlb  tlb.Stats
+	kern kernel.Stats
+}
+
+// compSnapshot captures the machine's current cumulative counters.
+func (m *Machine) compSnapshot() componentStats {
+	return componentStats{
+		dram: m.d.Stats(),
+		hier: m.h.Stats(),
+		tlb:  m.tlbs.Stats(),
+		kern: m.k.Stats(),
+	}
+}
+
+// sub returns the field-wise difference c - o (the activity between two
+// snapshots). All counters are uint64 and wrap, so sums of deltas
+// reconstruct the cumulative totals exactly.
+func (c componentStats) sub(o componentStats) componentStats {
+	c.dram = c.dram.Sub(o.dram)
+	c.hier = c.hier.Sub(o.hier)
+	c.tlb = c.tlb.Sub(o.tlb)
+	c.kern = c.kern.Sub(o.kern)
+	return c
+}
+
+// add returns the field-wise sum c + o.
+func (c componentStats) add(o componentStats) componentStats {
+	c.dram = c.dram.Add(o.dram)
+	c.hier = c.hier.Add(o.hier)
+	c.tlb = c.tlb.Add(o.tlb)
+	c.kern = c.kern.Add(o.kern)
+	return c
+}

@@ -1,0 +1,212 @@
+package machine
+
+import (
+	"errors"
+	"testing"
+
+	"memento/internal/config"
+	"memento/internal/faultinject"
+	"memento/internal/simerr"
+	"memento/internal/trace"
+)
+
+// tinyConfig is the default machine shrunk to a few hundred usable frames,
+// small enough that the exhaustion traces below run it out of physical
+// memory mid-run.
+func tinyConfig() config.Machine {
+	cfg := config.Default()
+	cfg.DRAM.SizeBytes = 4 << 20 // 1024 frames, 256 reserved
+	cfg.Memento.PagePoolPages = 128
+	cfg.Memento.PagePoolRefillPages = 64
+	return cfg
+}
+
+// exhaustTrace allocates and dirties far more memory than tinyConfig's DRAM
+// holds: objSize-byte objects, never freed, each fully touched.
+func exhaustTrace(lang trace.Language, objects int, objSize uint64) *trace.Trace {
+	return exhaustTraceNamed("exhaust", lang, objects, objSize)
+}
+
+func exhaustTraceNamed(name string, lang trace.Language, objects int, objSize uint64) *trace.Trace {
+	tr := &trace.Trace{Name: name, Lang: lang, Objects: objects}
+	for i := 0; i < objects; i++ {
+		tr.Append(trace.Event{Kind: trace.KindAlloc, Obj: i, Size: objSize})
+		tr.Append(trace.Event{Kind: trace.KindTouch, Obj: i, Bytes: objSize, Write: true})
+	}
+	return tr
+}
+
+// checkOOM asserts one exhaustion run's contract: a typed, annotated
+// ErrOutOfMemory (never a panic), every physical frame reclaimed, and a
+// machine healthy enough to run the next process.
+func checkOOM(t *testing.T, m *Machine, free0 uint64, err error, wantWorkload string, stack Stack) {
+	t.Helper()
+	if err == nil {
+		t.Fatal("run on a tiny machine must exhaust memory")
+	}
+	if !errors.Is(err, simerr.ErrOutOfMemory) {
+		t.Fatalf("error does not match ErrOutOfMemory: %v", err)
+	}
+	if errors.Is(err, simerr.ErrSegfault) {
+		t.Fatalf("exhaustion must not be reported as a segfault: %v", err)
+	}
+	var se *simerr.SimError
+	if !errors.As(err, &se) {
+		t.Fatalf("error carries no SimError context: %v", err)
+	}
+	if se.Workload != wantWorkload {
+		t.Fatalf("SimError workload = %q, want %q", se.Workload, wantWorkload)
+	}
+	if se.Event < 0 {
+		t.Fatalf("SimError event = %d, want the failing event index", se.Event)
+	}
+	if free := m.k.FreeFrames(); free != free0 {
+		t.Fatalf("failed run leaked frames: free %d, want %d", free, free0)
+	}
+	// The machine must stay usable: a small follow-up run succeeds.
+	if _, err := m.Run(microTrace(trace.Python), Options{Stack: stack}); err != nil {
+		t.Fatalf("machine corrupt after OOM: follow-up run failed: %v", err)
+	}
+}
+
+func TestBaselineAllocatorsExhaustCleanly(t *testing.T) {
+	for _, lang := range []trace.Language{trace.Python, trace.Cpp, trace.Golang} {
+		m, err := New(tinyConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		free0 := m.k.FreeFrames()
+		// 1000 x 8 KiB dirtied = 8 MiB demanded of a ~3 MiB machine.
+		_, rerr := m.Run(exhaustTrace(lang, 1000, 8192), Options{Stack: Baseline})
+		t.Run(lang.String(), func(t *testing.T) {
+			checkOOM(t, m, free0, rerr, "exhaust", Baseline)
+		})
+	}
+}
+
+func TestMementoStackExhaustsCleanly(t *testing.T) {
+	m, err := New(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	free0 := m.k.FreeFrames()
+	// Small objects ride the hardware object allocator: 12000 x 512 B
+	// dirtied = 1500 pages demanded of ~768 usable frames, exhausting the
+	// hardware page pool's kernel backing.
+	_, rerr := m.Run(exhaustTrace(trace.Python, 12000, 512), Options{Stack: Memento})
+	checkOOM(t, m, free0, rerr, "exhaust", Memento)
+}
+
+func TestMementoLargePathExhaustsCleanly(t *testing.T) {
+	m, err := New(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	free0 := m.k.FreeFrames()
+	// Objects above MaxObjectSize bypass the hardware allocator and take
+	// the software mmap path even on the Memento stack.
+	_, rerr := m.Run(exhaustTrace(trace.Python, 1000, 8192), Options{Stack: Memento})
+	checkOOM(t, m, free0, rerr, "exhaust", Memento)
+}
+
+func TestSuccessfulRunRestoresFreeFrames(t *testing.T) {
+	for _, stack := range []Stack{Baseline, Memento} {
+		m, err := New(config.Default())
+		if err != nil {
+			t.Fatal(err)
+		}
+		free0 := m.k.FreeFrames()
+		if _, err := m.Run(microTrace(trace.Python), Options{Stack: stack}); err != nil {
+			t.Fatalf("%v: %v", stack, err)
+		}
+		if free := m.k.FreeFrames(); free != free0 {
+			t.Fatalf("%v: completed run leaked frames: free %d, want %d", stack, free, free0)
+		}
+	}
+}
+
+func TestFaultInjectionSurfacesAsOOM(t *testing.T) {
+	for _, stack := range []Stack{Baseline, Memento} {
+		m, err := New(config.Default())
+		if err != nil {
+			t.Fatal(err)
+		}
+		free0 := m.k.FreeFrames()
+		hook := faultinject.FailAfter(32)
+		_, rerr := m.Run(exhaustTrace(trace.Cpp, 200, 8192), Options{Stack: stack, AllocHook: hook})
+		if rerr == nil {
+			t.Fatalf("%v: injected fault did not surface", stack)
+		}
+		if !errors.Is(rerr, simerr.ErrFaultInjected) {
+			t.Fatalf("%v: error does not match ErrFaultInjected: %v", stack, rerr)
+		}
+		if !errors.Is(rerr, simerr.ErrOutOfMemory) {
+			t.Fatalf("%v: injected fault must also match ErrOutOfMemory: %v", stack, rerr)
+		}
+		if hook.Injected() == 0 {
+			t.Fatalf("%v: hook reports no injections", stack)
+		}
+		if free := m.k.FreeFrames(); free != free0 {
+			t.Fatalf("%v: injected failure leaked frames: free %d, want %d", stack, free, free0)
+		}
+	}
+}
+
+func TestFaultInjectionAtSetupIsClean(t *testing.T) {
+	m, err := New(config.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	free0 := m.k.FreeFrames()
+	// Fail the very first frame allocation: process setup itself cannot
+	// complete, and the failure must not leak the partial setup.
+	_, rerr := m.Run(microTrace(trace.Cpp), Options{Stack: Baseline, AllocHook: faultinject.FailNth(1)})
+	if rerr == nil || !errors.Is(rerr, simerr.ErrFaultInjected) {
+		t.Fatalf("setup fault not surfaced: %v", rerr)
+	}
+	if free := m.k.FreeFrames(); free != free0 {
+		t.Fatalf("failed setup leaked frames: free %d, want %d", free, free0)
+	}
+	// Detached hook: the same machine runs clean afterwards.
+	if _, err := m.Run(microTrace(trace.Cpp), Options{Stack: Baseline}); err != nil {
+		t.Fatalf("machine corrupt after setup fault: %v", err)
+	}
+}
+
+func TestShootdownDispatchParity(t *testing.T) {
+	// Every shootdown the kernel (and, on Memento, the hardware page
+	// allocator) counts must have been dispatched into the TLB system:
+	// counters stay in lockstep.
+	tr := exhaustTraceWithFrees()
+	for _, stack := range []Stack{Baseline, Memento} {
+		m, err := New(config.Default())
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := m.Run(tr, Options{Stack: stack})
+		if err != nil {
+			t.Fatalf("%v: %v", stack, err)
+		}
+		want := r.Kernel.Shootdowns + r.PageAlloc.Shootdowns
+		if r.TLB.Shootdowns != want {
+			t.Fatalf("%v: TLB shootdowns = %d, want kernel %d + pagealloc %d",
+				stack, r.TLB.Shootdowns, r.Kernel.Shootdowns, r.PageAlloc.Shootdowns)
+		}
+		if r.TLB.Shootdowns == 0 {
+			t.Fatalf("%v: trace produced no shootdowns; parity not exercised", stack)
+		}
+	}
+}
+
+// exhaustTraceWithFrees allocates and frees large objects so munmap-driven
+// shootdowns actually happen.
+func exhaustTraceWithFrees() *trace.Trace {
+	const n = 64
+	tr := &trace.Trace{Name: "churn", Lang: trace.Cpp, Objects: n}
+	for i := 0; i < n; i++ {
+		tr.Append(trace.Event{Kind: trace.KindAlloc, Obj: i, Size: 128 << 10})
+		tr.Append(trace.Event{Kind: trace.KindTouch, Obj: i, Bytes: 128 << 10, Write: true})
+		tr.Append(trace.Event{Kind: trace.KindFree, Obj: i})
+	}
+	return tr
+}

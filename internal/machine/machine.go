@@ -7,13 +7,12 @@
 package machine
 
 import (
-	"fmt"
-
 	"memento/internal/cache"
 	"memento/internal/config"
 	"memento/internal/core"
 	"memento/internal/dram"
 	"memento/internal/kernel"
+	"memento/internal/simerr"
 	"memento/internal/softalloc"
 	"memento/internal/telemetry"
 	"memento/internal/tlb"
@@ -61,6 +60,20 @@ type Options struct {
 	// counters every N trace events into Result.Timeline, plus one sample
 	// after setup and one at teardown.
 	TimelineInterval int
+	// AllocHook, when non-nil, intercepts every physical frame allocation
+	// (kernel buddy allocations and Memento pool pops) for fault injection;
+	// see internal/faultinject for ready-made deterministic triggers.
+	AllocHook AllocHook
+}
+
+// AllocHook intercepts physical frame allocations for fault injection. It
+// is satisfied by faultinject.Hook and mirrors kernel.AllocHook and
+// core.AllocHook, which it is threaded through to.
+type AllocHook interface {
+	// FailFrameAlloc is consulted before the nth (1-based) allocation with
+	// the current free-frame (or pool-depth) count; returning true fails
+	// the allocation exactly as if memory were exhausted.
+	FailFrameAlloc(n uint64, free uint64) bool
 }
 
 // Buckets is the cycle attribution the Fig 9 breakdown derives from.
@@ -127,6 +140,12 @@ type Result struct {
 	// Timeline is the interval sampling of the run, present only when
 	// Options.TimelineInterval was > 0.
 	Timeline *telemetry.Timeline
+
+	// Err records this process's failure in a RunMultiProcess batch whose
+	// siblings kept running; its chain ends in one of the memento.Err*
+	// sentinels. Always nil for single-process runs (Machine.Run returns
+	// the error instead of a Result).
+	Err error
 }
 
 // TotalPages returns aggregate user+kernel page allocations.
@@ -170,20 +189,38 @@ func (m *Machine) attachProbe(p telemetry.Probe) {
 }
 
 // Run executes one trace to completion on a fresh process.
+//
+// The component counters in the Result (DRAM, Hier, TLB, Kernel) are the
+// machine's *cumulative* totals: reusing one Machine across several Runs
+// accumulates them (snapshot the stats before a run and subtract, or use a
+// fresh Machine per run as Runner does, to get per-run activity).
+// RunMultiProcess instead reports per-process deltas — see its
+// documentation. Physical frames are reclaimed whether the run succeeds or
+// fails, so FreeFrames() is restored and a later run starts from a clean
+// machine; errors are typed (matchable with errors.Is against the
+// simerr/memento sentinels) and annotated with the workload, stack, and
+// failing trace-event index.
 func (m *Machine) Run(tr *trace.Trace, opt Options) (Result, error) {
 	p, err := m.newProcess(tr, opt)
 	if err != nil {
+		return Result{}, simerr.WithRun(err, tr.Name, opt.Stack.String(), -1)
+	}
+	fail := func(err error, event int) (Result, error) {
+		err = simerr.WithRun(err, tr.Name, opt.Stack.String(), event)
+		p.destroy()
+		p.release()
 		return Result{}, err
 	}
 	for !p.done() {
 		if err := p.step(); err != nil {
-			return Result{}, fmt.Errorf("machine: %s event %d: %w", tr.Name, p.pc, err)
+			return fail(err, p.pc-1)
 		}
 	}
 	if err := p.finish(); err != nil {
-		return Result{}, err
+		return fail(err, p.pc)
 	}
 	r := p.result()
+	p.destroy()
 	p.release()
 	return r, nil
 }

@@ -1,0 +1,210 @@
+package machine
+
+import (
+	"errors"
+	"testing"
+
+	"memento/internal/config"
+	"memento/internal/faultinject"
+	"memento/internal/simerr"
+	"memento/internal/trace"
+)
+
+// mpTrace builds a deterministic alloc/touch/free mix: objects cycle
+// through a window of `live` concurrently-live slots, so the trace
+// exercises frees and reuse, not just monotone growth.
+func mpTrace(name string, lang trace.Language, objects int, objSize uint64) *trace.Trace {
+	const live = 32
+	tr := &trace.Trace{Name: name, Lang: lang, Objects: objects}
+	for i := 0; i < objects; i++ {
+		tr.Append(trace.Event{Kind: trace.KindAlloc, Obj: i, Size: objSize})
+		tr.Append(trace.Event{Kind: trace.KindTouch, Obj: i, Bytes: objSize, Write: true})
+		if i >= live {
+			tr.Append(trace.Event{Kind: trace.KindFree, Obj: i - live})
+		}
+	}
+	return tr
+}
+
+// resultComp lifts one Result's component counters into componentStats.
+func resultComp(r Result) componentStats {
+	return componentStats{dram: r.DRAM, hier: r.Hier, tlb: r.TLB, kern: r.Kernel}
+}
+
+// checkDeltasSum asserts the per-process component deltas sum exactly to
+// the machine's cumulative counters.
+func checkDeltasSum(t *testing.T, m *Machine, results []Result) {
+	t.Helper()
+	var sum componentStats
+	for _, r := range results {
+		sum = sum.add(resultComp(r))
+	}
+	if total := m.compSnapshot(); sum != total {
+		t.Fatalf("per-process deltas do not sum to machine totals:\n  sum   %+v\n  total %+v", sum, total)
+	}
+}
+
+func TestMultiProcessDeltasSumToMachineTotals(t *testing.T) {
+	mixes := [][]*trace.Trace{
+		{
+			mpTrace("a", trace.Python, 300, 512),
+			mpTrace("b", trace.Cpp, 500, 4096),
+		},
+		{
+			mpTrace("a", trace.Python, 200, 256),
+			mpTrace("b", trace.Golang, 400, 2048),
+			mpTrace("c", trace.Cpp, 600, 8192),
+		},
+		{
+			mpTrace("a", trace.Python, 100, 512),
+			mpTrace("b", trace.Cpp, 300, 1024),
+			mpTrace("c", trace.Golang, 500, 4096),
+			mpTrace("d", trace.Python, 700, 128),
+		},
+	}
+	for _, stack := range []Stack{Baseline, Memento} {
+		for mi, mix := range mixes {
+			m, err := New(config.Default())
+			if err != nil {
+				t.Fatal(err)
+			}
+			results, err := m.RunMultiProcess(mix, Options{Stack: stack}, 250)
+			if err != nil {
+				t.Fatalf("%v/mix%d: %v", stack, mi, err)
+			}
+			if len(results) != len(mix) {
+				t.Fatalf("%v/mix%d: %d results for %d traces", stack, mi, len(results), len(mix))
+			}
+			for _, r := range results {
+				if r.Err != nil {
+					t.Fatalf("%v/mix%d: unexpected per-process error: %v", stack, mi, r.Err)
+				}
+				if r.Cycles == 0 || r.Buckets.Total() != r.Cycles {
+					t.Fatalf("%v/mix%d: inconsistent buckets for %s", stack, mi, r.Workload)
+				}
+			}
+			checkDeltasSum(t, m, results)
+		}
+	}
+}
+
+func TestMultiProcessCtxSwitchOnlyWhileLive(t *testing.T) {
+	// Baseline context switches cost a fixed ContextSwitchCycles, so the
+	// charge pins the quantum count: a process stops accruing context
+	// switches the moment it finishes, even while its siblings keep
+	// running.
+	const quantum = 100
+	short := mpTrace("short", trace.Python, 100, 512) // 268 events -> 3 quanta
+	long := mpTrace("long", trace.Python, 600, 512)   // 1768 events -> 18 quanta
+	m, err := New(config.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := m.RunMultiProcess([]*trace.Trace{short, long}, Options{Stack: Baseline}, quantum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := m.Config().Cost.ContextSwitchCycles
+	quanta := func(tr *trace.Trace) uint64 {
+		return uint64((tr.Len() + quantum - 1) / quantum)
+	}
+	for i, tr := range []*trace.Trace{short, long} {
+		if got, want := results[i].Buckets.CtxSwitch, quanta(tr)*c; got != want {
+			t.Fatalf("%s: ctx-switch cycles = %d, want %d quanta x %d",
+				tr.Name, got, quanta(tr), c)
+		}
+	}
+}
+
+func TestMultiProcessInjectedFaultIsIsolated(t *testing.T) {
+	mix := []*trace.Trace{
+		mpTrace("a", trace.Python, 400, 4096),
+		mpTrace("b", trace.Cpp, 400, 4096),
+		mpTrace("c", trace.Golang, 400, 4096),
+	}
+	m, err := New(config.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	free0 := m.k.FreeFrames()
+	// Fires once, past the three setups (~263 observed attempts), inside some process's
+	// quantum; exactly one process dies.
+	hook := faultinject.FailNth(300)
+	results, err := m.RunMultiProcess(mix, Options{Stack: Baseline, AllocHook: hook}, 100)
+	if err == nil {
+		t.Fatal("injected fault must surface in the joined error")
+	}
+	if !errors.Is(err, simerr.ErrFaultInjected) {
+		t.Fatalf("joined error does not match ErrFaultInjected: %v", err)
+	}
+	if len(results) != len(mix) {
+		t.Fatalf("%d results for %d traces", len(results), len(mix))
+	}
+	failed := 0
+	for _, r := range results {
+		if r.Err == nil {
+			// Survivors must have completed sanely.
+			if r.Cycles == 0 || r.Buckets.Total() != r.Cycles {
+				t.Fatalf("%s: sibling corrupted by injected fault", r.Workload)
+			}
+			continue
+		}
+		failed++
+		if !errors.Is(r.Err, simerr.ErrFaultInjected) || !errors.Is(r.Err, simerr.ErrOutOfMemory) {
+			t.Fatalf("%s: Err = %v, want injected OOM", r.Workload, r.Err)
+		}
+		var se *simerr.SimError
+		if !errors.As(r.Err, &se) || se.Workload != r.Workload {
+			t.Fatalf("%s: Err lacks per-process context: %v", r.Workload, r.Err)
+		}
+	}
+	if failed != 1 {
+		t.Fatalf("injected single fault killed %d processes, want 1", failed)
+	}
+	checkDeltasSum(t, m, results)
+	if free := m.k.FreeFrames(); free != free0 {
+		t.Fatalf("multi-process run leaked frames: free %d, want %d", free, free0)
+	}
+}
+
+func TestMultiProcessOOMSiblingsContinue(t *testing.T) {
+	// Over-subscribe a tiny machine: whichever process exhausts memory
+	// first dies and releases its frames; the batch still returns one
+	// Result per trace, the failures typed, and no frames leak.
+	mix := []*trace.Trace{
+		exhaustTraceNamed("a", trace.Python, 400, 8192),
+		exhaustTraceNamed("b", trace.Cpp, 400, 8192),
+		exhaustTraceNamed("c", trace.Golang, 400, 8192),
+	}
+	m, err := New(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	free0 := m.k.FreeFrames()
+	results, err := m.RunMultiProcess(mix, Options{Stack: Baseline}, 100)
+	if err == nil {
+		t.Fatal("over-subscribed tiny machine must OOM")
+	}
+	if !errors.Is(err, simerr.ErrOutOfMemory) {
+		t.Fatalf("joined error does not match ErrOutOfMemory: %v", err)
+	}
+	if len(results) != len(mix) {
+		t.Fatalf("%d results for %d traces", len(results), len(mix))
+	}
+	failures := 0
+	for _, r := range results {
+		if r.Err != nil {
+			failures++
+			if !errors.Is(r.Err, simerr.ErrOutOfMemory) {
+				t.Fatalf("%s: Err = %v, want OOM", r.Workload, r.Err)
+			}
+		}
+	}
+	if failures == 0 {
+		t.Fatal("no per-process failure recorded")
+	}
+	checkDeltasSum(t, m, results)
+	if free := m.k.FreeFrames(); free != free0 {
+		t.Fatalf("OOM batch leaked frames: free %d, want %d", free, free0)
+	}
+}

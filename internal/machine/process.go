@@ -7,6 +7,7 @@ import (
 	"memento/internal/config"
 	"memento/internal/core"
 	"memento/internal/kernel"
+	"memento/internal/simerr"
 	"memento/internal/softalloc"
 	"memento/internal/telemetry"
 	"memento/internal/tlb"
@@ -68,10 +69,17 @@ type process struct {
 	pc         int
 	b          Buckets
 	finished   bool
+	destroyed  bool
 	fragSample float64
 	fragSum    float64
 	fragN      int
 	allocSeen  int
+
+	// compDelta, when set (RunMultiProcess), makes result() report the
+	// per-process component deltas accumulated in comp instead of the
+	// machine-global cumulative counters.
+	compDelta bool
+	comp      componentStats
 
 	// appBuf is the application working buffer KindCompute streams over
 	// (its traffic is the non-MM baseline both stacks share).
@@ -94,43 +102,60 @@ type mmu struct {
 	p *process
 }
 
-// Translate implements core.Translator.
-func (u *mmu) Translate(va uint64) (pa uint64, cycles uint64, ok bool) {
+// Translate implements core.Translator. The error follows the tlb.Walker
+// taxonomy (simerr.ErrSegfault / simerr.ErrOutOfMemory).
+func (u *mmu) Translate(va uint64) (pa uint64, cycles uint64, err error) {
 	var w tlb.Walker = u.p.as
 	if u.p.pa != nil && u.p.unit.Layout().Contains(va) {
 		w = u.p.pa
 	}
-	pfn, cycles, ok := u.p.m.tlbs.Translate(va>>config.PageShift, w)
-	if !ok {
-		return 0, cycles, false
+	pfn, cycles, err := u.p.m.tlbs.Translate(va>>config.PageShift, w)
+	if err != nil {
+		return 0, cycles, err
 	}
-	return pfn<<config.PageShift | va&(config.PageSize-1), cycles, true
+	return pfn<<config.PageShift | va&(config.PageSize-1), cycles, nil
 }
 
 // AccessVA implements softalloc.VMem.
-func (u *mmu) AccessVA(va uint64, write bool) uint64 {
-	pa, cycles, ok := u.Translate(va)
-	if !ok {
-		panic(fmt.Sprintf("machine: access to unmapped VA %#x", va))
+func (u *mmu) AccessVA(va uint64, write bool) (uint64, error) {
+	pa, cycles, err := u.Translate(va)
+	if err != nil {
+		return cycles, err
 	}
-	return cycles + u.p.m.h.Access(pa, write)
+	return cycles + u.p.m.h.Access(pa, write), nil
 }
 
 // newProcess sets up the per-run state: address space, allocator or
-// Memento unit, and charges runtime initialization.
+// Memento unit, and charges runtime initialization. A setup failure leaves
+// the machine clean: everything allocated so far (address-space metadata,
+// allocator pools, mapped buffers) is torn down before the error returns.
 func (m *Machine) newProcess(tr *trace.Trace, opt Options) (*process, error) {
 	if err := tr.Validate(); err != nil {
 		return nil, err
+	}
+	// The hook attaches before the first frame allocation so it observes the
+	// whole setup, address-space metadata included.
+	m.k.SetAllocHook(opt.AllocHook)
+	as, err := m.k.NewAddressSpace()
+	if err != nil {
+		return nil, simerr.Wrap(err, "process-setup")
 	}
 	scr := newScratch(tr.Objects)
 	p := &process{
 		m:        m,
 		tr:       tr,
 		opt:      opt,
-		as:       m.k.NewAddressSpace(),
+		as:       as,
 		scr:      scr,
 		objs:     scr.objs,
 		liveList: scr.liveList,
+	}
+	// fail reclaims every resource the partial setup acquired (satisfying
+	// the invariant that a failed newProcess restores FreeFrames).
+	fail := func(err error) (*process, error) {
+		p.destroy()
+		p.release()
+		return nil, simerr.Wrap(err, "process-setup")
 	}
 	p.mmu = &mmu{p: p}
 	p.as.Shootdown = m.tlbs.Shootdown
@@ -151,7 +176,7 @@ func (m *Machine) newProcess(tr *trace.Trace, opt Options) (*process, error) {
 		case trace.Golang:
 			p.alloc = softalloc.NewGoAlloc(m.cfg, m.k, p.as, p.mmu)
 		default:
-			return nil, fmt.Errorf("machine: unknown language %v", tr.Lang)
+			return fail(fmt.Errorf("machine: unknown language %v: %w", tr.Lang, simerr.ErrTraceInvalid))
 		}
 		// Runtime/allocator initialization happens at container start: its
 		// cycles are part of the cold-start cost, not the warm function
@@ -160,7 +185,7 @@ func (m *Machine) newProcess(tr *trace.Trace, opt Options) (*process, error) {
 		// reservation) persist either way.
 		cycles, err := p.alloc.Init()
 		if err != nil {
-			return nil, err
+			return fail(err)
 		}
 		if opt.ColdStart {
 			p.b.AppCompute += cycles
@@ -168,18 +193,23 @@ func (m *Machine) newProcess(tr *trace.Trace, opt Options) (*process, error) {
 	case Memento:
 		lay, err := core.NewLayout(m.cfg.Memento, core.DefaultRegionStart, core.DefaultRegionBytes)
 		if err != nil {
-			return nil, err
+			return fail(err)
 		}
 		pa, err := core.NewPageAllocator(m.cfg, lay, m.h, m.k)
 		if err != nil {
-			return nil, err
+			return fail(err)
 		}
 		pa.Shootdown = m.tlbs.Shootdown
+		pa.SetAllocHook(opt.AllocHook)
 		p.pa = pa
-		p.unit = core.NewUnit(m.cfg, lay, pa, m.h, p.mmu)
+		unit, err := core.NewUnit(m.cfg, lay, pa, m.h, p.mmu)
+		if err != nil {
+			return fail(err)
+		}
+		p.unit = unit
 		p.large = softalloc.NewLargeAlloc(m.cfg, m.k, p.as, p.mmu)
 	default:
-		return nil, fmt.Errorf("machine: unknown stack %v", opt.Stack)
+		return fail(fmt.Errorf("machine: unknown stack %v: %w", opt.Stack, simerr.ErrInvalidConfig))
 	}
 
 	if opt.ColdStart {
@@ -192,7 +222,7 @@ func (m *Machine) newProcess(tr *trace.Trace, opt Options) (*process, error) {
 		// (inputs arrive via RPC); its pages exist in both stacks alike.
 		va, _, err := m.k.Mmap(p.as, tr.AppBufBytes, true)
 		if err != nil {
-			return nil, err
+			return fail(err)
 		}
 		p.appBufVA, p.appBufLen = va, tr.AppBufBytes
 		p.appRng = uint64(len(tr.Name))*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
@@ -220,13 +250,34 @@ func (p *process) release() {
 	p.objs, p.liveList = nil, nil
 }
 
+// destroy reclaims every physical frame the process holds without charging
+// simulated cycles: the Memento page allocator's pool, table, and mapped
+// arena pages go back to the OS, the address space (data pages, page
+// tables, VMA metadata frame) is torn down, and the TLBs are flushed so no
+// stale translations survive into the machine's next run. It is the
+// error-path and post-run counterpart to finish(), safe on partially built
+// processes and idempotent.
+func (p *process) destroy() {
+	if p.destroyed {
+		return
+	}
+	p.destroyed = true
+	if p.pa != nil {
+		_ = p.pa.Release()
+	}
+	_ = p.m.k.DestroyAddressSpace(p.as)
+	p.m.tlbs.FlushAll()
+}
+
 // computeTraffic issues the application's own memory accesses for one
 // compute event: a streaming walk over the working buffer with occasional
 // random jumps. The access *latencies* are already represented inside the
 // compute cycle budget, so only traffic and cache pressure are modeled.
-func (p *process) computeTraffic(cycles uint64) {
+// The buffer is mapped at setup, so an access can only fail if the machine
+// has run out of frames backing a lazily-populated page.
+func (p *process) computeTraffic(cycles uint64) error {
 	if p.appBufLen == 0 || p.tr.ComputeAPK <= 0 {
-		return
+		return nil
 	}
 	n := cycles * uint64(p.tr.ComputeAPK) / 1000
 	for i := uint64(0); i < n; i++ {
@@ -238,8 +289,11 @@ func (p *process) computeTraffic(cycles uint64) {
 			p.appCursor = p.appRng % p.appBufLen
 		}
 		p.appCursor = (p.appCursor + config.LineSize) % p.appBufLen
-		p.mmu.AccessVA(p.appBufVA+p.appCursor, p.appRng%4 == 1)
+		if _, err := p.mmu.AccessVA(p.appBufVA+p.appCursor, p.appRng%4 == 1); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 func (p *process) done() bool { return p.pc >= p.tr.Len() }
@@ -294,11 +348,11 @@ func (p *process) stepEvent() error {
 		return p.doTouch(e)
 	case trace.KindCompute:
 		p.b.AppCompute += e.Cycles
-		p.computeTraffic(e.Cycles)
-		return nil
+		return p.computeTraffic(e.Cycles)
 	case trace.KindGC:
-		p.b.GC += p.gcMark()
-		return nil
+		cycles, err := p.gcMark()
+		p.b.GC += cycles
+		return err
 	case trace.KindContextSwitch:
 		p.b.CtxSwitch += p.contextSwitch()
 		return nil
@@ -428,10 +482,16 @@ func (p *process) doTouch(e trace.Event) error {
 	kb := p.kernelMM()
 	bb := p.backing()
 	var cycles uint64
+	var aerr error
 	lines := 0
 	for off := uint64(0); off < bytes; off += config.LineSize {
-		cycles += p.accessData(o, o.va+off, e.Write)
+		c, err := p.accessData(o, o.va+off, e.Write)
+		cycles += c
 		lines++
+		if err != nil {
+			aerr = err
+			break
+		}
 	}
 	kd := p.kernelMM() - kb
 	bd := p.backing() - bb
@@ -449,7 +509,7 @@ func (p *process) doTouch(e trace.Event) error {
 	p.b.Kernel += kd
 	p.b.PageMgmt += bd
 	p.b.AppMem += app
-	return nil
+	return aerr
 }
 
 // touchMLP is the modeled memory-level parallelism of streaming touches.
@@ -460,14 +520,11 @@ const touchMLP = 4
 // time and slow-path refills that a malloc cache cannot hide.
 const mallaccResidualDiv = 3
 
-// accessData routes one line access through the right path.
-func (p *process) accessData(o *object, va uint64, write bool) uint64 {
+// accessData routes one line access through the right path. The error
+// follows the tlb.Walker taxonomy.
+func (p *process) accessData(o *object, va uint64, write bool) (uint64, error) {
 	if o.memento {
-		cycles, ok := p.unit.AccessData(va, write)
-		if !ok {
-			panic(fmt.Sprintf("machine: memento access failed at %#x", va))
-		}
-		return cycles
+		return p.unit.AccessData(va, write)
 	}
 	return p.mmu.AccessVA(va, write)
 }
@@ -476,7 +533,7 @@ func (p *process) accessData(o *object, va uint64, write bool) uint64 {
 // for both stacks (Memento "does not help with tracking liveness",
 // Section 4): fixed start/stop cost, per-live-object scan instructions,
 // and header accesses for a bounded sample of the live set.
-func (p *process) gcMark() uint64 {
+func (p *process) gcMark() (uint64, error) {
 	cycles := p.m.cfg.InstrCycles(5000)
 	per := p.m.cfg.InstrCycles(30)
 	cycles += per * uint64(len(p.liveList))
@@ -486,9 +543,13 @@ func (p *process) gcMark() uint64 {
 			break
 		}
 		o := &p.objs[obj]
-		cycles += p.accessData(o, o.va, false)
+		c, err := p.accessData(o, o.va, false)
+		cycles += c
+		if err != nil {
+			return cycles, err
+		}
 	}
-	return cycles
+	return cycles, nil
 }
 
 // contextSwitch models a scheduler switch on this core: direct cost, TLB
@@ -547,18 +608,30 @@ func (p *process) finish() error {
 	return nil
 }
 
-// result assembles the Result snapshot.
+// result assembles the Result snapshot. In delta mode (RunMultiProcess)
+// the component counters are the per-process deltas accumulated around this
+// process's quanta; otherwise they are the machine-cumulative totals (see
+// Machine.Run for the accumulation contract).
 func (p *process) result() Result {
+	comp := componentStats{
+		dram: p.m.d.Stats(),
+		hier: p.m.h.Stats(),
+		tlb:  p.m.tlbs.Stats(),
+		kern: p.m.k.Stats(),
+	}
+	if p.compDelta {
+		comp = p.comp
+	}
 	r := Result{
 		Workload:          p.tr.Name,
 		Lang:              p.tr.Lang,
 		Stack:             p.opt.Stack,
 		Buckets:           p.b,
 		Cycles:            p.b.Total(),
-		DRAM:              p.m.d.Stats(),
-		Hier:              p.m.h.Stats(),
-		TLB:               p.m.tlbs.Stats(),
-		Kernel:            p.m.k.Stats(),
+		DRAM:              comp.dram,
+		Hier:              comp.hier,
+		TLB:               comp.tlb,
+		Kernel:            comp.kern,
 		PeakResidentPages: p.as.PeakResidentPages(),
 	}
 	r.UserPages = r.Kernel.UserPagesAllocated

@@ -1,0 +1,150 @@
+// Package simerr defines the simulator's typed error taxonomy. Every
+// failure that can escape the library paths of the kernel, machine, core,
+// and softalloc packages is classified under one of the sentinel errors
+// below, so callers can distinguish resource exhaustion from genuine
+// application faults with errors.Is — the precondition for running the
+// simulator under memory pressure (the paper's §3.2 on-demand pool
+// replenishment and §6.6 multi-process over-subscription regimes) without
+// panicking.
+//
+// The root memento package re-exports the sentinels and SimError; internal
+// packages import this one to avoid a dependency cycle.
+package simerr
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Sentinel errors — the taxonomy. Match with errors.Is; every error
+// returned by Runner/Machine APIs wraps exactly one of these (or a plain
+// usage error for malformed arguments).
+var (
+	// ErrOutOfMemory reports physical-frame exhaustion anywhere between
+	// Buddy.Alloc and the public run APIs: address-space creation, page
+	// faults, page-table growth, mmap population, or Memento pool refills.
+	ErrOutOfMemory = errors.New("out of physical memory")
+	// ErrSegfault reports an access to an address no VMA or Memento arena
+	// covers — a genuine unmapped-address fault, never an allocation
+	// failure.
+	ErrSegfault = errors.New("segmentation fault")
+	// ErrTraceInvalid reports a structurally invalid trace (use before
+	// alloc, double alloc, out-of-range ids, unknown language or kind).
+	ErrTraceInvalid = errors.New("invalid trace")
+	// ErrDoubleFree is the double-free exception Memento raises to
+	// software (Section 4).
+	ErrDoubleFree = errors.New("double free")
+	// ErrBadFree reports a free of an address the allocator never issued.
+	ErrBadFree = errors.New("bad free")
+	// ErrTooLarge reports an object-allocation request beyond the
+	// hardware maximum object size.
+	ErrTooLarge = errors.New("allocation exceeds hardware maximum")
+	// ErrRegionExhausted reports that a Memento size-class stripe ran out
+	// of virtual addresses.
+	ErrRegionExhausted = errors.New("memento region exhausted")
+	// ErrInvalidConfig reports a configuration the simulator cannot run.
+	ErrInvalidConfig = errors.New("invalid configuration")
+	// ErrFaultInjected marks failures triggered by the fault-injection
+	// harness (internal/faultinject). Injected allocation failures wrap
+	// both this and ErrOutOfMemory, so OOM-handling code cannot tell them
+	// apart while tests can assert the injector fired.
+	ErrFaultInjected = errors.New("injected fault")
+)
+
+// SimError is a classified simulator error carrying the context needed to
+// attribute a failure: the operation that failed, the faulting virtual
+// address (when one exists), and — once annotated by the run loop — the
+// workload, stack, and trace-event index.
+type SimError struct {
+	// Err is the underlying cause; its chain ends in one of the taxonomy
+	// sentinels above.
+	Err error
+	// Op names the failing operation ("mmap", "page-fault", "obj-alloc",
+	// "new-address-space", ...).
+	Op string
+	// Workload and Stack identify the run, filled by WithRun.
+	Workload string
+	Stack    string
+	// Event is the trace-event index at the failure, -1 when unknown.
+	Event int
+	// VA is the faulting virtual address, 0 when not address-related.
+	VA uint64
+}
+
+// Error implements error.
+func (e *SimError) Error() string {
+	var b strings.Builder
+	b.WriteString("memento: ")
+	if e.Op != "" {
+		b.WriteString(e.Op)
+		b.WriteString(": ")
+	}
+	if e.Err != nil {
+		b.WriteString(e.Err.Error())
+	} else {
+		b.WriteString("unknown error")
+	}
+	var ctx []string
+	if e.Workload != "" {
+		ctx = append(ctx, "workload "+e.Workload)
+	}
+	if e.Stack != "" {
+		ctx = append(ctx, "stack "+e.Stack)
+	}
+	if e.Event >= 0 {
+		ctx = append(ctx, fmt.Sprintf("event %d", e.Event))
+	}
+	if e.VA != 0 {
+		ctx = append(ctx, fmt.Sprintf("va %#x", e.VA))
+	}
+	if len(ctx) > 0 {
+		b.WriteString(" (")
+		b.WriteString(strings.Join(ctx, ", "))
+		b.WriteString(")")
+	}
+	return b.String()
+}
+
+// Unwrap exposes the cause chain to errors.Is/As.
+func (e *SimError) Unwrap() error { return e.Err }
+
+// Wrap classifies err under op. A nil err returns nil.
+func Wrap(err error, op string) error {
+	if err == nil {
+		return nil
+	}
+	return &SimError{Err: err, Op: op, Event: -1}
+}
+
+// WrapVA classifies err under op with the faulting virtual address.
+func WrapVA(err error, op string, va uint64) error {
+	if err == nil {
+		return nil
+	}
+	return &SimError{Err: err, Op: op, Event: -1, VA: va}
+}
+
+// WithRun annotates err with the run identity (workload, stack, event).
+// When err already carries a SimError anywhere in its chain, the empty
+// context fields of the outermost one are filled in place; otherwise err is
+// wrapped in a fresh SimError. A nil err returns nil.
+func WithRun(err error, workload, stack string, event int) error {
+	if err == nil {
+		return nil
+	}
+	var se *SimError
+	if errors.As(err, &se) {
+		if se.Workload == "" {
+			se.Workload = workload
+		}
+		if se.Stack == "" {
+			se.Stack = stack
+		}
+		if se.Event < 0 {
+			se.Event = event
+		}
+		return err
+	}
+	return &SimError{Err: err, Workload: workload, Stack: stack, Event: event}
+}

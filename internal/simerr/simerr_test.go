@@ -1,0 +1,70 @@
+package simerr
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestWrapMatchesSentinel(t *testing.T) {
+	err := WrapVA(ErrOutOfMemory, "page-fault", 0x7f0000001000)
+	if !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("errors.Is(%v, ErrOutOfMemory) = false", err)
+	}
+	if errors.Is(err, ErrSegfault) {
+		t.Fatalf("errors.Is(%v, ErrSegfault) = true, want false", err)
+	}
+	msg := err.Error()
+	for _, want := range []string{"page-fault", "out of physical memory", "va 0x7f0000001000"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("message %q missing %q", msg, want)
+		}
+	}
+}
+
+func TestWrapNil(t *testing.T) {
+	if Wrap(nil, "op") != nil || WrapVA(nil, "op", 1) != nil || WithRun(nil, "w", "s", 0) != nil {
+		t.Fatal("wrapping nil must return nil")
+	}
+}
+
+func TestWithRunFillsExistingSimError(t *testing.T) {
+	inner := WrapVA(ErrOutOfMemory, "mmap", 0x1000)
+	wrapped := fmt.Errorf("outer context: %w", inner)
+	got := WithRun(wrapped, "html", "baseline", 42)
+	if got != wrapped {
+		t.Fatalf("WithRun should annotate in place, got new error %v", got)
+	}
+	var se *SimError
+	if !errors.As(got, &se) {
+		t.Fatal("chain lost its SimError")
+	}
+	if se.Workload != "html" || se.Stack != "baseline" || se.Event != 42 || se.VA != 0x1000 {
+		t.Fatalf("context not filled: %+v", se)
+	}
+	if !errors.Is(got, ErrOutOfMemory) {
+		t.Fatal("sentinel lost after annotation")
+	}
+}
+
+func TestWithRunWrapsPlainError(t *testing.T) {
+	err := WithRun(fmt.Errorf("boom: %w", ErrTraceInvalid), "UM", "memento", 7)
+	var se *SimError
+	if !errors.As(err, &se) {
+		t.Fatal("plain error not wrapped in SimError")
+	}
+	if se.Workload != "UM" || se.Event != 7 {
+		t.Fatalf("context missing: %+v", se)
+	}
+	if !errors.Is(err, ErrTraceInvalid) {
+		t.Fatal("sentinel lost through WithRun")
+	}
+}
+
+func TestInjectedFaultCarriesBothSentinels(t *testing.T) {
+	err := fmt.Errorf("frame alloc: %w (%w)", ErrOutOfMemory, ErrFaultInjected)
+	if !errors.Is(err, ErrOutOfMemory) || !errors.Is(err, ErrFaultInjected) {
+		t.Fatalf("dual-sentinel wrap broken: %v", err)
+	}
+}

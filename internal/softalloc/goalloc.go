@@ -1,6 +1,7 @@
 package softalloc
 
 import (
+	"fmt"
 	"sort"
 
 	"memento/internal/config"
@@ -77,7 +78,7 @@ func (g *GoAlloc) Init() (uint64, error) {
 func (g *GoAlloc) grow() (uint64, error) {
 	va, cycles, err := g.k.Mmap(g.as, goArenaBytes, false)
 	if err != nil {
-		return cycles, ErrOutOfMemory
+		return cycles, fmt.Errorf("goalloc: heap arena: %w", err)
 	}
 	g.stats.ArenaMmaps++
 	g.arenas = append(g.arenas, &goArena{base: va})
@@ -116,7 +117,12 @@ func (g *GoAlloc) Alloc(size uint64) (uint64, uint64, error) {
 	var zero uint64
 	lines := uint64(0)
 	for off := uint64(0); off < clsSize; off += config.LineSize {
-		zero += g.mem.AccessVA(va+off, true)
+		zc, zerr := g.mem.AccessVA(va+off, true)
+		zero += zc
+		if zerr != nil {
+			g.stats.UserMMCycles += cycles + zero
+			return 0, cycles + zero, zerr
+		}
 		lines++
 	}
 	mlp := lines
@@ -157,7 +163,10 @@ func (g *GoAlloc) spanFor(cls int) (*goSpan, uint64, error) {
 	for i := span.capacity - 1; i >= 0; i-- {
 		span.freeList = append(span.freeList, uint16(i))
 	}
-	cycles += g.mem.AccessVA(base, true) // span metadata init
+	// Span metadata init.
+	if err := g.access(&cycles, base, true); err != nil {
+		return nil, cycles, err
+	}
 	g.mcache[cls] = append(g.mcache[cls], span)
 	return span, cycles, nil
 }
@@ -192,7 +201,11 @@ func (g *GoAlloc) Free(va uint64) (uint64, error) {
 	delete(g.owner, va)
 	g.liveObj--
 	cycles := g.instr(9) // sweep clears the mark bit
-	cycles += g.mem.AccessVA(span.base, true)
+	if err := g.access(&cycles, span.base, true); err != nil {
+		g.stats.UserMMCycles += cycles
+		g.stats.GCCycles += cycles
+		return cycles, err
+	}
 	if wasFull {
 		g.mcache[span.class] = append(g.mcache[span.class], span)
 	}
@@ -203,7 +216,7 @@ func (g *GoAlloc) Free(va uint64) (uint64, error) {
 
 // MarkCost charges one GC mark phase over the current live set: scanning
 // object graphs costs instructions plus a header access per live object.
-func (g *GoAlloc) MarkCost() uint64 {
+func (g *GoAlloc) MarkCost() (uint64, error) {
 	var cycles uint64
 	cycles += g.instr(5000) // GC start/stop, root scan
 	perObj := g.instr(30)
@@ -221,12 +234,17 @@ func (g *GoAlloc) MarkCost() uint64 {
 		vas = vas[:4096]
 	}
 	for _, va := range vas {
-		cycles += g.mem.AccessVA(va, false)
+		if err := g.access(&cycles, va, false); err != nil {
+			g.stats.GCCycles += cycles
+			g.stats.GCCollections++
+			g.stats.UserMMCycles += cycles
+			return cycles, err
+		}
 	}
 	g.stats.GCCycles += cycles
 	g.stats.GCCollections++
 	g.stats.UserMMCycles += cycles
-	return cycles
+	return cycles, nil
 }
 
 // SizeOf implements Allocator.

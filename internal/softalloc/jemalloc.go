@@ -1,6 +1,8 @@
 package softalloc
 
 import (
+	"fmt"
+
 	"memento/internal/config"
 	"memento/internal/kernel"
 )
@@ -96,7 +98,7 @@ func (j *JEMalloc) Init() (uint64, error) {
 		va, c, err := j.k.Mmap(j.as, j.opts.ChunkBytes, true /* pre-fault */)
 		cycles += c
 		if err != nil {
-			return cycles, ErrOutOfMemory
+			return cycles, fmt.Errorf("jemalloc: prealloc chunk: %w", err)
 		}
 		j.stats.ArenaMmaps++
 		j.chunks = append(j.chunks, &jeChunk{base: va, size: j.opts.ChunkBytes})
@@ -124,7 +126,11 @@ func (j *JEMalloc) Alloc(size uint64) (uint64, uint64, error) {
 		j.tcache[cls] = tc[:len(tc)-1]
 		delete(j.inTcache, va)
 		cycles := j.instr(18)
-		cycles += j.mem.AccessVA(va, false) // read cached object link
+		// Read the cached object link.
+		if err := j.access(&cycles, va, false); err != nil {
+			j.stats.UserMMCycles += cycles
+			return 0, cycles, err
+		}
 		j.stats.FastPathHits++
 		j.stats.UserMMCycles += cycles
 		return va, cycles, nil
@@ -141,8 +147,15 @@ func (j *JEMalloc) Alloc(size uint64) (uint64, uint64, error) {
 	run.used++
 	va := run.base + uint64(idx)*run.objSize
 	j.owner[va] = run
-	cycles += j.mem.AccessVA(run.base, true) // run header/bitmap update
-	cycles += j.mem.AccessVA(va, false)
+	// Run header/bitmap update, then the object link read.
+	if err := j.access(&cycles, run.base, true); err != nil {
+		j.stats.UserMMCycles += cycles
+		return 0, cycles, err
+	}
+	if err := j.access(&cycles, va, false); err != nil {
+		j.stats.UserMMCycles += cycles
+		return 0, cycles, err
+	}
 	if len(run.freeList) == 0 {
 		j.removeRun(run)
 	}
@@ -170,7 +183,7 @@ func (j *JEMalloc) runFor(cls int) (*jeRun, uint64, error) {
 		va, c, err := j.k.Mmap(j.as, j.opts.ChunkBytes, false)
 		cycles += c
 		if err != nil {
-			return nil, cycles, ErrOutOfMemory
+			return nil, cycles, fmt.Errorf("jemalloc: new chunk: %w", err)
 		}
 		j.stats.ArenaMmaps++
 		chunk = &jeChunk{base: va, size: j.opts.ChunkBytes}
@@ -188,7 +201,10 @@ func (j *JEMalloc) runFor(cls int) (*jeRun, uint64, error) {
 	for i := run.capacity - 1; i >= 0; i-- {
 		run.freeList = append(run.freeList, uint16(i))
 	}
-	cycles += j.mem.AccessVA(base, true) // initialize run header
+	// Initialize the run header.
+	if err := j.access(&cycles, base, true); err != nil {
+		return nil, cycles, err
+	}
 	j.runByVA[base] = run
 	j.runs[cls] = append(j.runs[cls], run)
 	return run, cycles, nil
@@ -221,23 +237,32 @@ func (j *JEMalloc) Free(va uint64) (uint64, error) {
 	j.stats.Frees++
 	cls := run.class
 	cycles := j.instr(16)
-	cycles += j.mem.AccessVA(va, true) // write tcache link into the object
+	// Write the tcache link into the object.
+	if err := j.access(&cycles, va, true); err != nil {
+		j.stats.UserMMCycles += cycles
+		return cycles, err
+	}
 	j.tcache[cls] = append(j.tcache[cls], va)
 	j.inTcache[va] = struct{}{}
 	if len(j.tcache[cls]) > j.opts.TcacheSize {
-		cycles += j.flushTcache(cls)
+		c, err := j.flushTcache(cls)
+		cycles += c
+		if err != nil {
+			j.stats.UserMMCycles += cycles
+			return cycles, err
+		}
 	}
 	j.stats.UserMMCycles += cycles
 	return cycles, nil
 }
 
 // flushTcache returns the older half of the class's thread cache to runs.
-func (j *JEMalloc) flushTcache(cls int) uint64 {
+func (j *JEMalloc) flushTcache(cls int) (uint64, error) {
 	tc := j.tcache[cls]
 	n := len(tc) / 2
 	var cycles uint64
 	cycles += j.instr(20) // flush loop setup
-	for _, va := range tc[:n] {
+	for i, va := range tc[:n] {
 		run := j.owner[va]
 		idx := uint16((va - run.base) / run.objSize)
 		wasFull := len(run.freeList) == 0
@@ -246,15 +271,19 @@ func (j *JEMalloc) flushTcache(cls int) uint64 {
 		delete(j.owner, va)
 		delete(j.inTcache, va)
 		cycles += j.instr(6)
-		cycles += j.mem.AccessVA(run.base, true)
 		if wasFull {
 			j.runs[cls] = append(j.runs[cls], run)
+		}
+		if err := j.access(&cycles, run.base, true); err != nil {
+			// Keep the not-yet-flushed tail cached so no object is lost.
+			j.tcache[cls] = append(j.tcache[cls][:0], tc[i+1:]...)
+			return cycles, err
 		}
 		// jemalloc retains empty runs and chunks in its pool (no munmap),
 		// trading memory for speed — the utilization cost Fig 11 shows.
 	}
 	j.tcache[cls] = append(j.tcache[cls][:0], tc[n:]...)
-	return cycles
+	return cycles, nil
 }
 
 // SizeOf implements Allocator. Objects parked in the thread cache are still

@@ -1,6 +1,8 @@
 package softalloc
 
 import (
+	"fmt"
+
 	"memento/internal/config"
 	"memento/internal/kernel"
 )
@@ -75,7 +77,7 @@ func (l *LargeAlloc) Alloc(size uint64) (uint64, uint64, error) {
 		length := (size + config.PageSize - 1) &^ uint64(config.PageSize-1)
 		va, cycles, err := l.k.Mmap(l.as, length, false)
 		if err != nil {
-			return 0, cycles, ErrOutOfMemory
+			return 0, cycles, fmt.Errorf("glibc-large: direct mmap: %w", err)
 		}
 		l.stats.ArenaMmaps++
 		l.blocks[va] = length
@@ -90,7 +92,11 @@ func (l *LargeAlloc) Alloc(size uint64) (uint64, uint64, error) {
 		va := free[len(free)-1]
 		l.bins[order] = free[:len(free)-1]
 		l.blocks[va] = block
-		cycles += l.mem.AccessVA(va, true) // chunk header
+		// Chunk header write.
+		if err := l.access(&cycles, va, true); err != nil {
+			l.stats.UserMMCycles += cycles
+			return 0, cycles, err
+		}
 		l.stats.FastPathHits++
 		l.stats.UserMMCycles += cycles
 		return va, cycles, nil
@@ -104,7 +110,7 @@ func (l *LargeAlloc) Alloc(size uint64) (uint64, uint64, error) {
 		va, mmapCycles, err := l.k.Mmap(l.as, chunk, false)
 		cycles += mmapCycles
 		if err != nil {
-			return 0, cycles, ErrOutOfMemory
+			return 0, cycles, fmt.Errorf("glibc-large: heap extension: %w", err)
 		}
 		l.stats.ArenaMmaps++
 		l.bumpVA, l.endVA = va, va+chunk
@@ -112,7 +118,11 @@ func (l *LargeAlloc) Alloc(size uint64) (uint64, uint64, error) {
 	va := l.bumpVA
 	l.bumpVA += block
 	l.blocks[va] = block
-	cycles += l.mem.AccessVA(va, true) // write the chunk header
+	// Write the chunk header.
+	if err := l.access(&cycles, va, true); err != nil {
+		l.stats.UserMMCycles += cycles
+		return 0, cycles, err
+	}
 	l.stats.UserMMCycles += cycles
 	return va, cycles, nil
 }
@@ -137,7 +147,11 @@ func (l *LargeAlloc) Free(va uint64) (uint64, error) {
 		return cycles, nil
 	}
 	cycles := l.instr(55)
-	cycles += l.mem.AccessVA(va, false) // read the chunk header
+	// Read the chunk header.
+	if err := l.access(&cycles, va, false); err != nil {
+		l.stats.UserMMCycles += cycles
+		return cycles, err
+	}
 	order, _ := binOf(size)
 	l.bins[order] = append(l.bins[order], va)
 	l.stats.UserMMCycles += cycles

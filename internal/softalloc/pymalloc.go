@@ -1,6 +1,8 @@
 package softalloc
 
 import (
+	"fmt"
+
 	"memento/internal/config"
 	"memento/internal/kernel"
 )
@@ -102,9 +104,15 @@ func (p *PyMalloc) Alloc(size uint64) (uint64, uint64, error) {
 	pool.allocated[idx] = true
 	pool.used++
 	va := pool.objectVA(int(idx))
-	cycles += p.mem.AccessVA(pool.base, false)
-	cycles += p.mem.AccessVA(va, false)
-	cycles += p.mem.AccessVA(pool.base, true)
+	for _, acc := range [...]struct {
+		va    uint64
+		write bool
+	}{{pool.base, false}, {va, false}, {pool.base, true}} {
+		if err := p.access(&cycles, acc.va, acc.write); err != nil {
+			p.stats.UserMMCycles += cycles
+			return 0, cycles, err
+		}
+	}
 	if len(pool.freeList) == 0 {
 		// Pool is now full: unlink from the used list.
 		p.removeUsed(pool)
@@ -152,7 +160,9 @@ func (p *PyMalloc) poolFor(cls int) (*pyPool, uint64, error) {
 	pool.allocated = make([]bool, pool.capacity)
 	pool.used = 0
 	pool.assigned = true
-	cycles += p.mem.AccessVA(pool.base, true)
+	if err := p.access(&cycles, pool.base, true); err != nil {
+		return nil, cycles, err
+	}
 	p.usedPools[cls] = append(p.usedPools[cls], pool)
 	pool.inUsedList = true
 	return pool, cycles, nil
@@ -162,7 +172,7 @@ func (p *PyMalloc) poolFor(cls int) (*pyPool, uint64, error) {
 func (p *PyMalloc) newArena() (uint64, error) {
 	va, cycles, err := p.k.Mmap(p.as, pyArenaBytes, false)
 	if err != nil {
-		return cycles, ErrOutOfMemory
+		return cycles, fmt.Errorf("pymalloc: new arena: %w", err)
 	}
 	p.stats.ArenaMmaps++
 	a := &pyArena{base: va, freePools: pyPoolsPerAren}
@@ -210,8 +220,12 @@ func (p *PyMalloc) Free(va uint64) (uint64, error) {
 	p.stats.Frees++
 	cycles := p.instr(p.cfg.Cost.UserFreeFastPathInstrs)
 	// Link into the free list: write the object's next-link, update header.
-	cycles += p.mem.AccessVA(va, true)
-	cycles += p.mem.AccessVA(poolBase, true)
+	if err := p.access(&cycles, va, true); err != nil {
+		return cycles, err
+	}
+	if err := p.access(&cycles, poolBase, true); err != nil {
+		return cycles, err
+	}
 
 	wasFull := len(pool.freeList) == 0
 	pool.freeList = append(pool.freeList, uint16(idx))

@@ -12,19 +12,22 @@
 package softalloc
 
 import (
-	"errors"
 	"fmt"
 
 	"memento/internal/config"
 	"memento/internal/kernel"
+	"memento/internal/simerr"
 )
 
 // VMem is virtually-addressed memory: the machine implements it with
 // translation (TLB, page walks, page faults) plus the cache hierarchy.
 type VMem interface {
 	// AccessVA performs one access at virtual address va and returns the
-	// total latency in cycles, including any page fault it triggered.
-	AccessVA(va uint64, write bool) uint64
+	// total latency in cycles, including any page fault it triggered. The
+	// error follows the tlb.Walker taxonomy: simerr.ErrOutOfMemory when the
+	// fault handler could not back the page, simerr.ErrSegfault when no
+	// mapping covers va.
+	AccessVA(va uint64, write bool) (cycles uint64, err error)
 }
 
 // Stats counts allocator activity.
@@ -63,11 +66,13 @@ type Allocator interface {
 	Stats() Stats
 }
 
-// ErrOutOfMemory is returned when the kernel cannot back more memory.
-var ErrOutOfMemory = errors.New("softalloc: out of memory")
+// ErrOutOfMemory is returned when the kernel cannot back more memory. It
+// wraps simerr.ErrOutOfMemory.
+var ErrOutOfMemory = fmt.Errorf("softalloc: %w", simerr.ErrOutOfMemory)
 
 // ErrBadFree is returned for frees of unknown or already-freed addresses.
-var ErrBadFree = errors.New("softalloc: bad free")
+// It wraps simerr.ErrBadFree.
+var ErrBadFree = fmt.Errorf("softalloc: %w", simerr.ErrBadFree)
 
 // sizeClassOf rounds size up to the allocator's class granularity and
 // returns (class index, class size). Callers guarantee 0 < size <= maxSize.
@@ -92,3 +97,11 @@ type env struct {
 }
 
 func (e *env) instr(n int) uint64 { return e.cfg.InstrCycles(n) }
+
+// access charges one metadata access at va, accumulating its latency into
+// *cycles and propagating any translation/backing error.
+func (e *env) access(cycles *uint64, va uint64, write bool) error {
+	c, err := e.mem.AccessVA(va, write)
+	*cycles += c
+	return err
+}

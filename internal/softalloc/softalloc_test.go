@@ -20,12 +20,12 @@ type testVMem struct {
 	as *kernel.AddressSpace
 }
 
-func (v *testVMem) AccessVA(va uint64, write bool) uint64 {
-	pfn, cycles, ok := v.as.Walk(va >> config.PageShift)
-	if !ok {
-		panic(fmt.Sprintf("testVMem: unmapped VA %#x", va))
+func (v *testVMem) AccessVA(va uint64, write bool) (uint64, error) {
+	pfn, cycles, err := v.as.Walk(va >> config.PageShift)
+	if err != nil {
+		return cycles, fmt.Errorf("testVMem: VA %#x: %w", va, err)
 	}
-	return cycles + v.h.Access(pfn<<config.PageShift|va&(config.PageSize-1), write)
+	return cycles + v.h.Access(pfn<<config.PageShift|va&(config.PageSize-1), write), nil
 }
 
 type fixture struct {
@@ -40,7 +40,10 @@ func newFixture() *fixture {
 	cfg := config.Default()
 	h := cache.NewHierarchy(cfg, dram.New(cfg.DRAM))
 	k := kernel.New(cfg, h)
-	as := k.NewAddressSpace()
+	as, err := k.NewAddressSpace()
+	if err != nil {
+		panic(err)
+	}
 	return &fixture{cfg: cfg, k: k, as: as, mem: &testVMem{h: h, as: as}, h: h}
 }
 
@@ -335,7 +338,10 @@ func TestGoAllocLiveObjectsAndGC(t *testing.T) {
 	if g.LiveObjects() != 50 {
 		t.Fatalf("live = %d, want 50", g.LiveObjects())
 	}
-	mark := g.MarkCost()
+	mark, err := g.MarkCost()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if mark == 0 {
 		t.Fatal("mark must cost cycles")
 	}

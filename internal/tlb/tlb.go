@@ -155,9 +155,11 @@ func (t *TLB) Misses() uint64 { return t.misses }
 type Walker interface {
 	// Walk translates vpn, returning the PFN and the walk latency in
 	// cycles (including any fault handling or hardware page allocation the
-	// walk triggered). ok is false if the address is unmapped and cannot be
-	// mapped (a true segfault).
-	Walk(vpn uint64) (pfn uint64, cycles uint64, ok bool)
+	// walk triggered). A non-nil error classifies the failure: it wraps
+	// simerr.ErrSegfault when no mapping covers the address, and
+	// simerr.ErrOutOfMemory when the page exists but could not be backed
+	// with a physical frame.
+	Walk(vpn uint64) (pfn uint64, cycles uint64, err error)
 }
 
 // Stats summarizes a System's translation activity.
@@ -167,6 +169,32 @@ type Stats struct {
 	Walks            uint64
 	WalkCycles       uint64
 	Shootdowns       uint64
+}
+
+// Sub returns the field-wise difference s - o: the activity between two
+// snapshots. Arithmetic wraps (uint64 modular), so sums of deltas match the
+// cumulative counters exactly.
+func (s Stats) Sub(o Stats) Stats {
+	s.L1Hits -= o.L1Hits
+	s.L1Misses -= o.L1Misses
+	s.L2Hits -= o.L2Hits
+	s.L2Misses -= o.L2Misses
+	s.Walks -= o.Walks
+	s.WalkCycles -= o.WalkCycles
+	s.Shootdowns -= o.Shootdowns
+	return s
+}
+
+// Add returns the field-wise sum s + o.
+func (s Stats) Add(o Stats) Stats {
+	s.L1Hits += o.L1Hits
+	s.L1Misses += o.L1Misses
+	s.L2Hits += o.L2Hits
+	s.L2Misses += o.L2Misses
+	s.Walks += o.Walks
+	s.WalkCycles += o.WalkCycles
+	s.Shootdowns += o.Shootdowns
+	return s
 }
 
 // Counters returns the stats in their stable telemetry wire form.
@@ -204,36 +232,37 @@ func NewSystem(m config.Machine) *System {
 }
 
 // Translate resolves vpn via L1 -> L2 -> walker, returning the PFN, the
-// translation latency, and whether the address is mapped. The L1 lookup is
-// overlapped with the cache access, so an L1 hit costs its configured
-// latency (0 by default).
-func (s *System) Translate(vpn uint64, w Walker) (pfn uint64, cycles uint64, ok bool) {
+// translation latency, and a typed error when the walk failed (see Walker
+// for the classification). The L1 lookup is overlapped with the cache
+// access, so an L1 hit costs its configured latency (0 by default).
+func (s *System) Translate(vpn uint64, w Walker) (pfn uint64, cycles uint64, err error) {
 	cycles = s.L1.Latency()
+	var ok bool
 	if pfn, ok = s.L1.Lookup(vpn); ok {
 		s.stats.L1Hits++
-		return pfn, cycles, true
+		return pfn, cycles, nil
 	}
 	s.stats.L1Misses++
 	cycles += s.L2.Latency()
 	if pfn, ok = s.L2.Lookup(vpn); ok {
 		s.stats.L2Hits++
 		s.L1.Insert(vpn, pfn)
-		return pfn, cycles, true
+		return pfn, cycles, nil
 	}
 	s.stats.L2Misses++
-	pfn, walkCycles, ok := w.Walk(vpn)
+	pfn, walkCycles, err := w.Walk(vpn)
 	s.stats.Walks++
 	s.stats.WalkCycles += walkCycles
 	cycles += walkCycles
 	if s.probed {
 		s.probe.Count(telemetry.CtrTLBWalk, 1, walkCycles)
 	}
-	if !ok {
-		return 0, cycles, false
+	if err != nil {
+		return 0, cycles, err
 	}
 	s.L2.Insert(vpn, pfn)
 	s.L1.Insert(vpn, pfn)
-	return pfn, cycles, true
+	return pfn, cycles, nil
 }
 
 // Shootdown invalidates one page in both levels and counts the event.

@@ -1,11 +1,13 @@
 package tlb
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
 
 	"memento/internal/config"
+	"memento/internal/simerr"
 )
 
 type fixedWalker struct {
@@ -14,12 +16,12 @@ type fixedWalker struct {
 	walks  int
 }
 
-func (w *fixedWalker) Walk(vpn uint64) (uint64, uint64, bool) {
+func (w *fixedWalker) Walk(vpn uint64) (uint64, uint64, error) {
 	w.walks++
 	if w.fail {
-		return 0, w.cycles, false
+		return 0, w.cycles, simerr.ErrSegfault
 	}
-	return vpn + 1000, w.cycles, true
+	return vpn + 1000, w.cycles, nil
 }
 
 func TestTLBInsertLookup(t *testing.T) {
@@ -104,15 +106,15 @@ func TestNonPowerOfTwoWays(t *testing.T) {
 func TestSystemTranslateHitPath(t *testing.T) {
 	s := NewSystem(config.Default())
 	w := &fixedWalker{cycles: 100}
-	_, c1, ok := s.Translate(42, w)
-	if !ok || w.walks != 1 {
-		t.Fatalf("first translate should walk: ok=%v walks=%d", ok, w.walks)
+	_, c1, err := s.Translate(42, w)
+	if err != nil || w.walks != 1 {
+		t.Fatalf("first translate should walk: err=%v walks=%d", err, w.walks)
 	}
 	if c1 < 100 {
 		t.Fatalf("miss latency %d should include walk cycles", c1)
 	}
-	pfn, c2, ok := s.Translate(42, w)
-	if !ok || pfn != 1042 || w.walks != 1 {
+	pfn, c2, err := s.Translate(42, w)
+	if err != nil || pfn != 1042 || w.walks != 1 {
 		t.Fatalf("second translate should hit L1: pfn=%d walks=%d", pfn, w.walks)
 	}
 	if c2 != 0 {
@@ -128,8 +130,8 @@ func TestSystemL2Refill(t *testing.T) {
 		s.Translate(v, w)
 	}
 	walksBefore := w.walks
-	_, cycles, ok := s.Translate(0, w)
-	if !ok {
+	_, cycles, err := s.Translate(0, w)
+	if err != nil {
 		t.Fatal("translation failed")
 	}
 	if w.walks != walksBefore {
@@ -143,9 +145,8 @@ func TestSystemL2Refill(t *testing.T) {
 func TestSystemUnmapped(t *testing.T) {
 	s := NewSystem(config.Default())
 	w := &fixedWalker{cycles: 50, fail: true}
-	_, _, ok := s.Translate(9, w)
-	if ok {
-		t.Fatal("unmapped address must fail")
+	if _, _, err := s.Translate(9, w); !errors.Is(err, simerr.ErrSegfault) {
+		t.Fatalf("unmapped address must fail with ErrSegfault, got %v", err)
 	}
 	// Failure must not be cached.
 	_, _, _ = s.Translate(9, w)
@@ -208,8 +209,8 @@ func TestSystemCoherenceProperty(t *testing.T) {
 	w := &fixedWalker{cycles: 10}
 	f := func(v uint16) bool {
 		vpn := uint64(v)
-		pfn, _, ok := s.Translate(vpn, w)
-		return ok && pfn == vpn+1000
+		pfn, _, err := s.Translate(vpn, w)
+		return err == nil && pfn == vpn+1000
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
 		t.Fatal(err)

@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"io"
 	"sync/atomic"
+
+	"memento/internal/simerr"
 )
 
 // Language identifies the runtime whose allocator the trace exercises.
@@ -216,27 +218,27 @@ func (t *Trace) Validate() error {
 		switch t.KindAt(i) {
 		case KindAlloc:
 			if obj < 0 || obj >= t.Objects {
-				return fmt.Errorf("trace %s: event %d: object %d out of range", t.Name, i, obj)
+				return fmt.Errorf("trace %s: event %d: object %d out of range: %w", t.Name, i, obj, simerr.ErrTraceInvalid)
 			}
 			if state[obj] != 0 {
-				return fmt.Errorf("trace %s: event %d: object %d allocated twice", t.Name, i, obj)
+				return fmt.Errorf("trace %s: event %d: object %d allocated twice: %w", t.Name, i, obj, simerr.ErrTraceInvalid)
 			}
 			if t.args[i] == 0 {
-				return fmt.Errorf("trace %s: event %d: zero-size alloc", t.Name, i)
+				return fmt.Errorf("trace %s: event %d: zero-size alloc: %w", t.Name, i, simerr.ErrTraceInvalid)
 			}
 			state[obj] = 1
 		case KindFree:
 			if obj < 0 || obj >= t.Objects || state[obj] != 1 {
-				return fmt.Errorf("trace %s: event %d: free of non-live object %d", t.Name, i, obj)
+				return fmt.Errorf("trace %s: event %d: free of non-live object %d: %w", t.Name, i, obj, simerr.ErrTraceInvalid)
 			}
 			state[obj] = 2
 		case KindTouch:
 			if obj < 0 || obj >= t.Objects || state[obj] != 1 {
-				return fmt.Errorf("trace %s: event %d: touch of non-live object %d", t.Name, i, obj)
+				return fmt.Errorf("trace %s: event %d: touch of non-live object %d: %w", t.Name, i, obj, simerr.ErrTraceInvalid)
 			}
 		case KindCompute, KindGC, KindContextSwitch:
 		default:
-			return fmt.Errorf("trace %s: event %d: unknown kind %d", t.Name, i, t.KindAt(i))
+			return fmt.Errorf("trace %s: event %d: unknown kind %d: %w", t.Name, i, t.KindAt(i), simerr.ErrTraceInvalid)
 		}
 	}
 	t.validated.Store(true)

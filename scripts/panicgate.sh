@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# panicgate: fail CI when a panic() appears on a library path.
+#
+# The simulator's error model (DESIGN.md §8) requires every failure
+# reachable from the public run APIs to surface as a typed error. Panics
+# are reserved for internal invariant violations that indicate a simulator
+# bug; each such site must be listed in the allowlist below, with the
+# invariant it guards documented at the panic site.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# file:reason — constructor misconfiguration guards and data-structure
+# invariants that cannot be triggered through Runner/Machine inputs.
+allow=(
+  "internal/softalloc/softalloc.go"  # sizeClassOf: callers bound size by maxSize
+  "internal/stats/stats.go"          # histogram constructors/merge: static bin tables
+  "internal/cache/cache.go"          # NewCache: geometry validated by config.Validate
+  "internal/dram/dram.go"            # geometry: validated by config.Validate
+  "internal/core/arena.go"           # bitmap/list invariants: allocator-internal state
+  "internal/core/unit.go"            # replaceEntry: eviction always frees a slot
+)
+
+fail=0
+while IFS= read -r hit; do
+  file=${hit%%:*}
+  ok=0
+  for a in "${allow[@]}"; do
+    if [[ "$file" == "$a" ]]; then
+      ok=1
+      break
+    fi
+  done
+  if [[ $ok -eq 0 ]]; then
+    echo "panicgate: disallowed panic on library path: $hit" >&2
+    fail=1
+  fi
+done < <(grep -rn "panic(" internal --include="*.go" | grep -v "_test.go" || true)
+
+if [[ $fail -ne 0 ]]; then
+  echo "panicgate: convert the panic to a typed error (internal/simerr)," >&2
+  echo "panicgate: or add the file to the allowlist with a justification." >&2
+  exit 1
+fi
+echo "panicgate: ok"
