@@ -9,6 +9,7 @@
 //	experiments -only fig8      # a single experiment
 //	experiments -json all.json  # also export the printed experiments as JSON
 //	experiments -workers 4      # bound the sweep's parallel fan-out
+//	experiments -warm           # the warm-start study (setup cycles saved)
 package main
 
 import (
@@ -25,11 +26,20 @@ func main() {
 	only := flag.String("only", "", "run a single experiment by id (fig2..fig14, table1..table3, sec6.1-iso, sec6.6-*, sec6.7-mallacc)")
 	jsonOut := flag.String("json", "", "write the printed experiments as a JSON array to FILE (- for stdout)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel workers for the workload sweep")
+	warm := flag.Bool("warm", false, "print the warm-start study (setup cycles skipped per invocation) instead of the paper's tables")
 	flag.Parse()
 
 	s := memento.NewSuite(memento.DefaultConfig())
 	s.Workers = *workers
-	exps, err := s.All()
+	var exps []memento.Experiment
+	var err error
+	if *warm {
+		var e memento.Experiment
+		e, err = memento.WarmStartsExperiment(s)
+		exps = []memento.Experiment{e}
+	} else {
+		exps, err = s.All()
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)

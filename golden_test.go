@@ -27,14 +27,42 @@ func TestExperimentsGolden(t *testing.T) {
 		// would push the package past the test timeout on small CI runners.
 		t.Skip("full experiment sweep; skipped under the race detector")
 	}
-	want, err := os.ReadFile("experiments_output.txt")
-	if err != nil {
-		t.Fatalf("reading golden file: %v", err)
-	}
 	s := experiments.NewSuite(config.Default())
 	exps, err := s.All()
 	if err != nil {
 		t.Fatal(err)
+	}
+	diffGolden(t, "experiments_output.txt", exps)
+}
+
+// TestExperimentsWarmGolden pins the warm-start study the same way: its
+// setup-cycle numbers derive from the snapshot layer, so any drift in what
+// a checkpoint captures (or what restore skips) shows up here. Regenerate
+// with:
+//
+//	go run ./cmd/experiments -warm > experiments_warm_output.txt
+func TestExperimentsWarmGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep; skipped in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("full experiment sweep; skipped under the race detector")
+	}
+	s := experiments.NewSuite(config.Default())
+	e, err := experiments.WarmStarts(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffGolden(t, "experiments_warm_output.txt", []experiments.Experiment{e})
+}
+
+// diffGolden renders the experiments exactly as cmd/experiments prints them
+// and diffs against the committed golden file, line by line.
+func diffGolden(t *testing.T, golden string, exps []experiments.Experiment) {
+	t.Helper()
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden file: %v", err)
 	}
 	var sb strings.Builder
 	for _, e := range exps {
@@ -53,8 +81,8 @@ func TestExperimentsGolden(t *testing.T) {
 	}
 	for i := 0; i < n; i++ {
 		if gotLines[i] != wantLines[i] {
-			t.Fatalf("experiment output diverges from experiments_output.txt at line %d:\n got: %q\nwant: %q", i+1, gotLines[i], wantLines[i])
+			t.Fatalf("experiment output diverges from %s at line %d:\n got: %q\nwant: %q", golden, i+1, gotLines[i], wantLines[i])
 		}
 	}
-	t.Fatalf("experiment output length diverges from experiments_output.txt: got %d lines, want %d", len(gotLines), len(wantLines))
+	t.Fatalf("experiment output length diverges from %s: got %d lines, want %d", golden, len(gotLines), len(wantLines))
 }

@@ -44,6 +44,14 @@ type Cache struct {
 	setMask uint64
 	shift   uint
 	tick    uint64
+	// Fill memo: a Lookup miss records the victim way it scanned past so the
+	// Insert that services the miss (the universal miss->fill pattern in
+	// Hierarchy) can skip a second way scan. The memo is one-shot — any
+	// mutation (Insert, Invalidate, another Lookup) clears it — so a consumed
+	// memo is always the way the cold-path scan would have picked.
+	memoLine uint64
+	memoWay  int32
+	memoOK   bool
 	// Stats
 	hits, misses uint64
 }
@@ -81,6 +89,7 @@ func (c *Cache) Lookup(lineAddr uint64, write bool) bool {
 	set, tag := c.indexTag(lineAddr)
 	ways := c.setOf(set)
 	want := tag | validBit
+	c.memoOK = false
 	// MRU fast path: skip the way scan when the last-used way hits again.
 	if w := &ways[c.mru[set]]; w.tagw&^dirtyBit == want {
 		c.tick++
@@ -91,19 +100,38 @@ func (c *Cache) Lookup(lineAddr uint64, write bool) bool {
 		c.hits++
 		return true
 	}
+	// Miss scans track the victim Insert would pick (first invalid way, else
+	// lowest LRU with first-strictly-less tie-break) to seed the fill memo.
+	inv := -1
+	li, lru := 0, ^uint64(0)
 	for i := range ways {
-		if ways[i].tagw&^dirtyBit == want {
+		w := &ways[i]
+		if w.tagw&^dirtyBit == want {
 			c.tick++
-			ways[i].lru = c.tick
+			w.lru = c.tick
 			if write {
-				ways[i].tagw |= dirtyBit
+				w.tagw |= dirtyBit
 			}
 			c.hits++
 			c.mru[set] = int32(i)
 			return true
 		}
+		if w.tagw&validBit == 0 {
+			if inv < 0 {
+				inv = i
+			}
+			continue
+		}
+		if w.lru < lru {
+			li, lru = i, w.lru
+		}
 	}
 	c.misses++
+	vi := inv
+	if vi < 0 {
+		vi = li
+	}
+	c.memoLine, c.memoWay, c.memoOK = lineAddr, int32(vi), true
 	return false
 }
 
@@ -126,6 +154,25 @@ func (c *Cache) Insert(lineAddr uint64, dirty bool) (victim uint64, victimDirty,
 	ways := c.setOf(set)
 	c.tick++
 	want := tag | validBit
+	// Fill-memo fast path: the immediately preceding Lookup missed this very
+	// line and already picked the victim way; nothing has mutated since.
+	if c.memoOK && c.memoLine == lineAddr {
+		c.memoOK = false
+		w := &ways[c.memoWay]
+		if w.tagw&validBit != 0 {
+			victim = ((w.tagw & tagMask) << c.shift) | set
+			victimDirty = w.tagw&dirtyBit != 0
+			evicted = true
+		}
+		tagw := want
+		if dirty {
+			tagw |= dirtyBit
+		}
+		*w = line{tagw: tagw, lru: c.tick}
+		c.mru[set] = c.memoWay
+		return victim, victimDirty, evicted
+	}
+	c.memoOK = false
 	// Prefer an existing copy (refresh), then the first invalid way, else LRU.
 	inv := -1
 	li, lru := 0, ^uint64(0)
@@ -171,6 +218,7 @@ func (c *Cache) Insert(lineAddr uint64, dirty bool) (victim uint64, victimDirty,
 // Invalidate drops the line if present, returning whether it was dirty.
 // A stale mru entry is harmless: the fast path re-checks validity and tag.
 func (c *Cache) Invalidate(lineAddr uint64) (wasDirty, wasPresent bool) {
+	c.memoOK = false
 	set, tag := c.indexTag(lineAddr)
 	ways := c.setOf(set)
 	want := tag | validBit

@@ -1,0 +1,67 @@
+package cache
+
+// Snapshot is a compact deep copy of one cache level's mutable state: the
+// packed line array, the per-set MRU hints, the LRU tick, and the counters.
+// Geometry is immutable configuration and is not captured; a Snapshot may
+// only be restored into a Cache built from the same CacheConfig.
+//
+// The one-shot fill memo is deliberately NOT captured: it is only valid
+// between a Lookup miss and the Insert that services it, and a snapshot is
+// never taken mid-access. Restore clears it.
+type Snapshot struct {
+	lines        []line
+	mru          []int32
+	tick         uint64
+	hits, misses uint64
+}
+
+// Snapshot captures the level's mutable state. The returned value is
+// immutable and may be restored any number of times.
+func (c *Cache) Snapshot() *Snapshot {
+	return &Snapshot{
+		lines:  append([]line(nil), c.lines...),
+		mru:    append([]int32(nil), c.mru...),
+		tick:   c.tick,
+		hits:   c.hits,
+		misses: c.misses,
+	}
+}
+
+// Restore replaces the level's state with a copy of s and invalidates the
+// fill memo.
+func (c *Cache) Restore(s *Snapshot) {
+	c.lines = append(c.lines[:0], s.lines...)
+	c.mru = append(c.mru[:0], s.mru...)
+	c.tick = s.tick
+	c.hits = s.hits
+	c.misses = s.misses
+	c.memoOK = false
+}
+
+// HierarchySnapshot is a deep copy of the three cache levels plus the
+// hierarchy counters. The DRAM model below the LLC is snapshotted
+// separately (it is shared machine state, not hierarchy state).
+type HierarchySnapshot struct {
+	l1d, l2, llc *Snapshot
+	stats        Stats
+}
+
+// Snapshot captures all three levels and the hierarchy statistics.
+func (h *Hierarchy) Snapshot() *HierarchySnapshot {
+	return &HierarchySnapshot{
+		l1d:   h.L1D.Snapshot(),
+		l2:    h.L2.Snapshot(),
+		llc:   h.LLC.Snapshot(),
+		stats: h.stats,
+	}
+}
+
+// Restore replaces the hierarchy's state with a copy of s. The probe
+// attachment is preserved; its cached flag is re-derived.
+func (h *Hierarchy) Restore(s *HierarchySnapshot) {
+	h.L1D.Restore(s.l1d)
+	h.L2.Restore(s.l2)
+	h.LLC.Restore(s.llc)
+	h.stats = s.stats
+	h.probed = h.probe != nil
+}

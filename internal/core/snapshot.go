@@ -1,0 +1,190 @@
+package core
+
+import (
+	"memento/internal/config"
+	"memento/internal/kernel"
+)
+
+// Snapshots of the Memento hardware deep-copy two linked structures: the
+// MPTR-rooted page table (a pointer tree) and the arena graph (arenas linked
+// into per-class available/full lists, indexed by base VA). Both are cloned
+// on capture AND on every restore, so a snapshot is immutable and can seed
+// any number of independent machines. Attachment state (Shootdown callbacks,
+// fault-injection hooks) is never captured; the caller re-wires it.
+
+// cloneMPTNode deep-copies a Memento page-table subtree.
+func cloneMPTNode(n *mptNode) *mptNode {
+	if n == nil {
+		return nil
+	}
+	c := &mptNode{pfn: n.pfn}
+	if n.children != nil {
+		c.children = make([]*mptNode, len(n.children))
+		for i, ch := range n.children {
+			c.children[i] = cloneMPTNode(ch)
+		}
+	}
+	if n.pte != nil {
+		c.pte = append([]uint64(nil), n.pte...)
+	}
+	return c
+}
+
+// PageAllocSnapshot is a deep copy of the hardware page allocator's state:
+// the free pool, the per-class bump pointers, the AAC residency slots, the
+// Memento page table, and the counters.
+type PageAllocSnapshot struct {
+	pool          []uint64
+	bump          []uint64
+	aacSlots      []int
+	root          *mptNode
+	shootdownVec  uint64
+	stats         PageAllocStats
+	residentPages uint64
+	poolPops      uint64
+}
+
+// Snapshot captures the page allocator. The returned value is immutable and
+// may be restored any number of times.
+func (p *PageAllocator) Snapshot() *PageAllocSnapshot {
+	return &PageAllocSnapshot{
+		pool:          append([]uint64(nil), p.pool...),
+		bump:          append([]uint64(nil), p.bump...),
+		aacSlots:      append([]int(nil), p.aacSlots...),
+		root:          cloneMPTNode(p.root),
+		shootdownVec:  p.shootdownVec,
+		stats:         p.stats,
+		residentPages: p.residentPages,
+		poolPops:      p.poolPops,
+	}
+}
+
+// Restore replaces the allocator's state with a copy of s. The Shootdown
+// callback and alloc hook are left as-is (the caller owns that wiring).
+func (p *PageAllocator) Restore(s *PageAllocSnapshot) {
+	p.pool = append(p.pool[:0], s.pool...)
+	p.bump = append(p.bump[:0], s.bump...)
+	p.aacSlots = append(p.aacSlots[:0], s.aacSlots...)
+	p.root = cloneMPTNode(s.root)
+	p.shootdownVec = s.shootdownVec
+	p.stats = s.stats
+	p.residentPages = s.residentPages
+	p.poolPops = s.poolPops
+}
+
+// RestorePageAllocator materializes a page allocator directly from a
+// snapshot, without refilling the pool or charging any simulated work: the
+// snapshot's frames are already accounted as allocated in the kernel
+// snapshot taken alongside it. The caller wires Shootdown and any alloc
+// hook afterwards.
+func RestorePageAllocator(cfg config.Machine, layout *Layout, mem Mem, k *kernel.Kernel, s *PageAllocSnapshot) *PageAllocator {
+	p := &PageAllocator{cfg: cfg, layout: layout, mem: mem, k: k}
+	p.Restore(s)
+	return p
+}
+
+// cloneArenaGraph deep-copies every arena in the index, preserving the
+// prev/next list links and membership flags. Links are remapped via the
+// base-VA index, which covers every linked arena (list members and cached
+// HOT arenas are always live and indexed).
+func cloneArenaGraph(src map[uint64]*Arena) map[uint64]*Arena {
+	out := make(map[uint64]*Arena, len(src))
+	for base, a := range src {
+		out[base] = &Arena{
+			BaseVA:     a.BaseVA,
+			Class:      a.Class,
+			HeaderPA:   a.HeaderPA,
+			bitmap:     a.bitmap,
+			live:       a.live,
+			BypassCtr:  a.BypassCtr,
+			onFullList: a.onFullList,
+			linked:     a.linked,
+		}
+	}
+	for _, a := range src {
+		c := out[a.BaseVA]
+		if a.prev != nil {
+			c.prev = out[a.prev.BaseVA]
+		}
+		if a.next != nil {
+			c.next = out[a.next.BaseVA]
+		}
+	}
+	return out
+}
+
+// hotSnap records one HOT entry by arena base VA: the cached arena and the
+// available/full list heads and lengths. Pointers are resolved against the
+// cloned arena graph on restore.
+type hotSnap struct {
+	arenaBase uint64
+	hasArena  bool
+	availHead uint64
+	hasAvail  bool
+	fullHead  uint64
+	hasFull   bool
+	availN    int
+	fullN     int
+}
+
+// UnitSnapshot is a deep copy of the object allocator's state: the arena
+// graph, the HOT entries, the cross-thread free buffer, and the counters.
+type UnitSnapshot struct {
+	arenas       map[uint64]*Arena
+	hot          []hotSnap
+	crossFreeBuf []uint64
+	stats        Stats
+}
+
+// Snapshot captures the unit. The returned value is immutable and may be
+// restored any number of times.
+func (u *Unit) Snapshot() *UnitSnapshot {
+	s := &UnitSnapshot{
+		arenas:       cloneArenaGraph(u.arenaByBase),
+		hot:          make([]hotSnap, len(u.hot)),
+		crossFreeBuf: append([]uint64(nil), u.crossFreeBuf...),
+		stats:        u.stats,
+	}
+	for i := range u.hot {
+		e := &u.hot[i]
+		hs := &s.hot[i]
+		if e.arena != nil {
+			hs.arenaBase, hs.hasArena = e.arena.BaseVA, true
+		}
+		if h := e.avail.head; h != nil {
+			hs.availHead, hs.hasAvail = h.BaseVA, true
+		}
+		if h := e.full.head; h != nil {
+			hs.fullHead, hs.hasFull = h.BaseVA, true
+		}
+		hs.availN, hs.fullN = e.avail.n, e.full.n
+	}
+	return s
+}
+
+// Restore replaces the unit's state with a copy of s. The unit must have
+// been built by NewUnit from the same configuration and layout; the list
+// identity flags it preset are kept.
+func (u *Unit) Restore(s *UnitSnapshot) {
+	u.arenaByBase = cloneArenaGraph(s.arenas)
+	for i := range u.hot {
+		e := &u.hot[i]
+		hs := &s.hot[i]
+		e.arena = nil
+		if hs.hasArena {
+			e.arena = u.arenaByBase[hs.arenaBase]
+		}
+		e.avail.head = nil
+		if hs.hasAvail {
+			e.avail.head = u.arenaByBase[hs.availHead]
+		}
+		e.full.head = nil
+		if hs.hasFull {
+			e.full.head = u.arenaByBase[hs.fullHead]
+		}
+		e.avail.n = hs.availN
+		e.full.n = hs.fullN
+	}
+	u.crossFreeBuf = append(u.crossFreeBuf[:0], s.crossFreeBuf...)
+	u.stats = s.stats
+}

@@ -1,0 +1,35 @@
+package dram
+
+// Snapshot is a compact deep copy of a DRAM model's mutable state: the
+// per-bank open rows, the bank-streak queue state, and the statistics.
+// Geometry (banks, row size, decode shifts) is immutable configuration and
+// is not captured; a Snapshot may only be restored into a DRAM built from
+// the same DRAMConfig.
+type Snapshot struct {
+	openRow    []int64
+	lastBank   int
+	bankStreak uint64
+	stats      Stats
+}
+
+// Snapshot captures the mutable state. The returned value is immutable and
+// may be restored any number of times, including concurrently into
+// different DRAM instances.
+func (d *DRAM) Snapshot() *Snapshot {
+	return &Snapshot{
+		openRow:    append([]int64(nil), d.openRow...),
+		lastBank:   d.lastBank,
+		bankStreak: d.bankStreak,
+		stats:      d.stats,
+	}
+}
+
+// Restore replaces the DRAM's mutable state with a copy of s. The probe
+// attachment is preserved; its cached flag is re-derived.
+func (d *DRAM) Restore(s *Snapshot) {
+	d.openRow = append(d.openRow[:0], s.openRow...)
+	d.lastBank = s.lastBank
+	d.bankStreak = s.bankStreak
+	d.stats = s.stats
+	d.probed = d.probe != nil
+}

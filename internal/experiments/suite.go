@@ -42,11 +42,6 @@ type Suite struct {
 	once  sync.Once
 	pairs map[string]*Pair
 	err   error
-	// traces memoizes generated traces by profile name: every stack and
-	// every sensitivity study replays the same deterministic trace, so one
-	// generation per profile serves the whole suite. Replay never mutates a
-	// Trace, which is what makes the sharing sound.
-	traces sync.Map
 }
 
 // NewSuite creates a suite over the given machine configuration.
@@ -54,15 +49,11 @@ func NewSuite(cfg config.Machine) *Suite {
 	return &Suite{Cfg: cfg}
 }
 
-// genTrace returns the memoized trace for a canonical (unmodified) profile.
-// Experiments that mutate a profile before generating must call
-// workload.Generate directly — the cache is keyed by name only.
+// genTrace returns the process-wide memoized trace for a profile. Every
+// stack and every sensitivity study replays the same deterministic trace,
+// and replay never mutates a Trace, which is what makes the sharing sound.
 func (s *Suite) genTrace(p workload.Profile) *trace.Trace {
-	if v, ok := s.traces.Load(p.Name); ok {
-		return v.(*trace.Trace)
-	}
-	v, _ := s.traces.LoadOrStore(p.Name, workload.Generate(p))
-	return v.(*trace.Trace)
+	return workload.GenerateCached(p)
 }
 
 // workerCount resolves the effective fan-out for n jobs.
@@ -108,11 +99,7 @@ func (s *Suite) Pairs() (map[string]*Pair, error) {
 					}
 					nbCfg := s.Cfg
 					nbCfg.Memento.BypassEnabled = false
-					mNB, err := machine.New(nbCfg)
-					var noBypass machine.Result
-					if err == nil {
-						noBypass, err = mNB.Run(tr, machine.Options{Stack: machine.Memento})
-					}
+					noBypass, err := machine.RunWarm(nbCfg, tr, machine.Options{Stack: machine.Memento})
 					mu.Lock()
 					if err != nil {
 						errs = append(errs, fmt.Errorf("experiments: %s (no-bypass): %w", j.prof.Name, err))

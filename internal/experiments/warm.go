@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"fmt"
+
+	"memento/internal/machine"
+)
+
+// WarmStarts quantifies the serverless warm-start saving the snapshot layer
+// models: every cold invocation re-simulates process setup (address-space
+// construction, runtime/allocator initialization, working-buffer
+// pre-faulting), while a warm invocation restores a post-setup checkpoint
+// and replays only the function body. The table reports the setup cycles
+// each stack skips per warm invocation, absolute and as a share of the
+// whole run. Not part of the paper's figures; printed by
+// `cmd/experiments -warm` and pinned by experiments_warm_output.txt.
+func WarmStarts(s *Suite) (Experiment, error) {
+	e := Experiment{
+		ID:    "warm",
+		Title: "Warm starts: setup cycles skipped per invocation",
+		Paper: "not in paper; motivated by Section 2.2 (ephemeral processes re-pay setup every invocation)",
+		Header: []string{
+			"workload", "lang", "baseline setup", "memento setup", "base %run", "mem %run",
+		},
+	}
+	pairs, err := s.Pairs()
+	if err != nil {
+		return e, err
+	}
+	for _, name := range sortedNames(pairs) {
+		pr := pairs[name]
+		wb, err := machine.PrepareWarm(s.Cfg, pr.Trace, machine.Options{Stack: machine.Baseline})
+		if err != nil {
+			return e, fmt.Errorf("experiments: %s (warm baseline): %w", name, err)
+		}
+		wm, err := machine.PrepareWarm(s.Cfg, pr.Trace, machine.Options{Stack: machine.Memento})
+		if err != nil {
+			return e, fmt.Errorf("experiments: %s (warm memento): %w", name, err)
+		}
+		bs, ms := wb.SetupCycles(), wm.SetupCycles()
+		e.Rows = append(e.Rows, []string{
+			name, pr.Prof.Lang.String(),
+			fmt.Sprintf("%d", bs), fmt.Sprintf("%d", ms),
+			pct(float64(bs) / float64(pr.Base.Cycles)),
+			pct(float64(ms) / float64(pr.Mem.Cycles)),
+		})
+	}
+	e.Notes = append(e.Notes,
+		"setup = kernel MM cycles + Memento pool-replenishment cycles charged before the first trace event",
+		"a run restored from the checkpoint skips re-simulating setup and is bit-identical to a cold run")
+	return e, nil
+}

@@ -14,38 +14,48 @@ import (
 // MaxOrder is the largest buddy block: 2^10 pages = 4 MiB, matching Linux.
 const MaxOrder = 10
 
+const noFrame = int32(-1)
+
 // Buddy is a binary-buddy physical page allocator over frames
 // [base, base+nframes). Frame numbers are absolute PFNs.
+//
+// The allocator is fully deterministic: free blocks live on per-order LIFO
+// lists (intrusive doubly-linked, indexed by frame offset), and untouched
+// high frames form a pristine watermark region that is carved lazily, so the
+// same call sequence always returns the same frames. Determinism matters —
+// frame numbers decide DRAM row/bank locality, so a randomized pick (the old
+// map-iteration implementation) made end-to-end results wobble run to run.
 type Buddy struct {
 	base    uint64
 	nframes uint64
-	// free[o] is the set of free block start frames of order o.
-	free [MaxOrder + 1]map[uint64]struct{}
-	// allocOrder records the order each allocated block was handed out at,
-	// so Free can validate and merge correctly.
-	allocOrder map[uint64]int
+	// watermark is the first pristine frame offset: frames in
+	// [watermark, nframes) have never been handed out and are implicitly
+	// free. Blocks are carved from here only when the free lists cannot
+	// serve a request; freed blocks never merge back into the region.
+	watermark uint64
+	// head[o] is the frame offset of the first free block of order o, or
+	// noFrame. prev/next thread the lists; they are meaningful only at
+	// offsets that are free block heads.
+	head [MaxOrder + 1]int32
+	prev []int32
+	next []int32
+	// state[off] is 0 for untracked offsets, freeTag+o for a free block head
+	// of order o, allocTag+o for an allocated block head of order o.
+	state      []uint8
 	freeFrames uint64
 }
 
+const (
+	freeTag  = 1
+	allocTag = freeTag + MaxOrder + 1
+)
+
 // NewBuddy creates an allocator over nframes frames starting at PFN base.
 func NewBuddy(base, nframes uint64) *Buddy {
-	b := &Buddy{base: base, nframes: nframes, allocOrder: make(map[uint64]int)}
-	for o := range b.free {
-		b.free[o] = make(map[uint64]struct{})
+	b := &Buddy{base: base, nframes: nframes, freeFrames: nframes}
+	for o := range b.head {
+		b.head[o] = noFrame
 	}
-	// Seed with maximal aligned blocks.
-	f := base
-	remaining := nframes
-	for remaining > 0 {
-		o := MaxOrder
-		for o > 0 && (uint64(1)<<o > remaining || (f-base)%(1<<o) != 0) {
-			o--
-		}
-		b.free[o][f] = struct{}{}
-		f += 1 << o
-		remaining -= 1 << o
-	}
-	b.freeFrames = nframes
 	return b
 }
 
@@ -55,6 +65,54 @@ func (b *Buddy) FreeFrames() uint64 { return b.freeFrames }
 // TotalFrames returns the managed frame count.
 func (b *Buddy) TotalFrames() uint64 { return b.nframes }
 
+// grow extends the tracking arrays to cover offsets [0, n), doubling the
+// allocation so repeated watermark advances amortize to O(1) per frame.
+func (b *Buddy) grow(n uint64) {
+	if uint64(len(b.state)) >= n {
+		return
+	}
+	c := uint64(1024)
+	for c < n {
+		c *= 2
+	}
+	if c > b.nframes {
+		c = b.nframes
+	}
+	ns := make([]uint8, c)
+	copy(ns, b.state)
+	np := make([]int32, c)
+	copy(np, b.prev)
+	nn := make([]int32, c)
+	copy(nn, b.next)
+	b.state, b.prev, b.next = ns, np, nn
+}
+
+// push makes offset off the head of order o's free list.
+func (b *Buddy) push(off uint64, o int) {
+	h := b.head[o]
+	b.prev[off] = noFrame
+	b.next[off] = h
+	if h != noFrame {
+		b.prev[h] = int32(off)
+	}
+	b.head[o] = int32(off)
+	b.state[off] = freeTag + uint8(o)
+}
+
+// unlink removes free block head off from order o's list.
+func (b *Buddy) unlink(off uint64, o int) {
+	p, n := b.prev[off], b.next[off]
+	if p != noFrame {
+		b.next[p] = n
+	} else {
+		b.head[o] = n
+	}
+	if n != noFrame {
+		b.prev[n] = p
+	}
+	b.state[off] = 0
+}
+
 // Alloc returns the first frame of a free 2^order block, splitting larger
 // blocks as needed. ok is false when memory is exhausted.
 func (b *Buddy) Alloc(order int) (frame uint64, ok bool) {
@@ -62,73 +120,104 @@ func (b *Buddy) Alloc(order int) (frame uint64, ok bool) {
 		return 0, false
 	}
 	o := order
-	for o <= MaxOrder && len(b.free[o]) == 0 {
+	for o <= MaxOrder && b.head[o] == noFrame {
 		o++
 	}
-	if o > MaxOrder {
-		return 0, false
+	var off uint64
+	if o <= MaxOrder {
+		off = uint64(b.head[o])
+		b.unlink(off, o)
+		// Split down to the requested order, freeing the upper halves.
+		for o > order {
+			o--
+			b.push(off+(1<<o), o)
+		}
+	} else {
+		// Carve an aligned block from the pristine region, pushing the
+		// alignment gap onto the free lists as maximal aligned blocks.
+		size := uint64(1) << order
+		aligned := (b.watermark + size - 1) &^ (size - 1)
+		if aligned+size > b.nframes {
+			return 0, false
+		}
+		b.grow(aligned + size)
+		for w := b.watermark; w < aligned; {
+			g := 0
+			for g < MaxOrder && w%(2<<g) == 0 && w+(2<<g) <= aligned {
+				g++
+			}
+			b.push(w, g)
+			w += 1 << g
+		}
+		b.watermark = aligned + size
+		off = aligned
 	}
-	// Take any block at order o.
-	for f := range b.free[o] {
-		frame = f
-		break
-	}
-	delete(b.free[o], frame)
-	// Split down to the requested order.
-	for o > order {
-		o--
-		buddy := frame + (1 << o)
-		b.free[o][buddy] = struct{}{}
-	}
-	b.allocOrder[frame] = order
+	b.state[off] = allocTag + uint8(order)
 	b.freeFrames -= 1 << order
-	return frame, true
+	return b.base + off, true
 }
 
 // Free returns a block to the allocator, merging with its buddy as long as
-// the buddy is also free.
+// the buddy is also a free block of the same order.
 func (b *Buddy) Free(frame uint64) error {
-	order, ok := b.allocOrder[frame]
-	if !ok {
+	off := frame - b.base
+	if off >= uint64(len(b.state)) || b.state[off] < allocTag {
 		return fmt.Errorf("kernel: buddy free of unallocated frame %#x", frame)
 	}
-	delete(b.allocOrder, frame)
-	b.freeFrames += 1 << order
-	rel := frame - b.base
+	order := int(b.state[off] - allocTag)
+	b.state[off] = 0
+	b.freeFrames += uint64(1) << order
 	for order < MaxOrder {
-		buddyRel := rel ^ (1 << order)
-		buddyFrame := b.base + buddyRel
-		if _, free := b.free[order][buddyFrame]; !free {
+		buddy := off ^ (1 << order)
+		// A pristine-region buddy is free but not mergeable: carving never
+		// re-forms the watermark, so stop at the boundary.
+		if buddy >= uint64(len(b.state)) || b.state[buddy] != freeTag+uint8(order) {
 			break
 		}
-		delete(b.free[order], buddyFrame)
-		if buddyRel < rel {
-			rel = buddyRel
+		b.unlink(buddy, order)
+		if buddy < off {
+			off = buddy
 		}
 		order++
 	}
-	b.free[order][b.base+rel] = struct{}{}
+	b.push(off, order)
 	return nil
 }
 
-// checkIntegrity validates that free blocks do not overlap and cover exactly
-// freeFrames frames. Used by tests.
+// blocksAtOrder returns the number of free blocks on order o's list.
+func (b *Buddy) blocksAtOrder(o int) int {
+	n := 0
+	for f := b.head[o]; f != noFrame; f = b.next[f] {
+		n++
+	}
+	return n
+}
+
+// checkIntegrity validates that free blocks do not overlap and, together
+// with the pristine region, cover exactly freeFrames frames. Used by tests.
 func (b *Buddy) checkIntegrity() error {
 	seen := make(map[uint64]struct{})
-	var count uint64
+	count := b.nframes - b.watermark
 	for o := 0; o <= MaxOrder; o++ {
-		for f := range b.free[o] {
+		for f := b.head[o]; f != noFrame; f = b.next[f] {
+			off := uint64(f)
+			if b.state[off] != freeTag+uint8(o) {
+				return fmt.Errorf("kernel: free block %#x has state %d, want order %d", off, b.state[off], o)
+			}
+			if off+(1<<o) > b.watermark {
+				return fmt.Errorf("kernel: free block %#x order %d crosses watermark %#x", off, o, b.watermark)
+			}
 			for i := uint64(0); i < 1<<o; i++ {
-				if _, dup := seen[f+i]; dup {
-					return fmt.Errorf("kernel: frame %#x in two free blocks", f+i)
+				if _, dup := seen[off+i]; dup {
+					return fmt.Errorf("kernel: frame %#x in two free blocks", off+i)
 				}
-				seen[f+i] = struct{}{}
+				seen[off+i] = struct{}{}
 			}
 			count += 1 << o
 		}
 	}
 	if count != b.freeFrames {
-		return fmt.Errorf("kernel: free list holds %d frames, counter says %d", count, b.freeFrames)
+		return fmt.Errorf("kernel: free blocks hold %d frames, counter says %d", count, b.freeFrames)
 	}
 	return nil
 }

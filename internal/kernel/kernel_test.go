@@ -63,7 +63,7 @@ func TestBuddyMergeRestoresMaxBlocks(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if len(b.free[MaxOrder]) != 1 {
+	if b.blocksAtOrder(MaxOrder) != 1 {
 		t.Fatalf("after freeing everything, want one max-order block, free lists: %v", countFree(b))
 	}
 }
@@ -71,7 +71,7 @@ func TestBuddyMergeRestoresMaxBlocks(t *testing.T) {
 func countFree(b *Buddy) []int {
 	out := make([]int, MaxOrder+1)
 	for o := 0; o <= MaxOrder; o++ {
-		out[o] = len(b.free[o])
+		out[o] = b.blocksAtOrder(o)
 	}
 	return out
 }

@@ -1,0 +1,136 @@
+package kernel
+
+// Snapshotting the kernel splits along ownership lines: machine-wide state
+// (the buddy allocator and the cumulative counters) lives in Snapshot, while
+// per-process state (page tables, VMAs, cursors, residency gauges) lives in
+// AddressSpaceSnapshot. Probe and fault-injection hook attachments are NOT
+// captured — they are observation wiring owned by the caller, which re-arms
+// them after a restore; the cached probe flag is re-derived.
+
+// buddySnapshot is a deep copy of the buddy allocator's mutable state.
+type buddySnapshot struct {
+	watermark  uint64
+	freeFrames uint64
+	head       [MaxOrder + 1]int32
+	prev       []int32
+	next       []int32
+	state      []uint8
+}
+
+func (b *Buddy) snapshot() *buddySnapshot {
+	return &buddySnapshot{
+		watermark:  b.watermark,
+		freeFrames: b.freeFrames,
+		head:       b.head,
+		prev:       append([]int32(nil), b.prev...),
+		next:       append([]int32(nil), b.next...),
+		state:      append([]uint8(nil), b.state...),
+	}
+}
+
+func (b *Buddy) restore(s *buddySnapshot) {
+	b.watermark = s.watermark
+	b.freeFrames = s.freeFrames
+	b.head = s.head
+	b.prev = append(b.prev[:0], s.prev...)
+	b.next = append(b.next[:0], s.next...)
+	b.state = append(b.state[:0], s.state...)
+}
+
+// Snapshot is a compact deep copy of the kernel's machine-wide state. It is
+// immutable and may be restored any number of times; a Snapshot may only be
+// restored into a Kernel built from the same configuration.
+type Snapshot struct {
+	buddy         *buddySnapshot
+	stats         Stats
+	frameAllocs   uint64
+	forcePopulate bool
+}
+
+// Snapshot captures the buddy allocator, counters, and mode flags.
+func (k *Kernel) Snapshot() *Snapshot {
+	return &Snapshot{
+		buddy:         k.buddy.snapshot(),
+		stats:         k.stats,
+		frameAllocs:   k.frameAllocs,
+		forcePopulate: k.forcePopulate,
+	}
+}
+
+// Restore replaces the kernel's machine-wide state with a copy of s. The
+// probe and alloc-hook attachments are preserved (callers re-arm them per
+// run); the cached probe flag is re-derived.
+func (k *Kernel) Restore(s *Snapshot) {
+	k.buddy.restore(s.buddy)
+	k.stats = s.stats
+	k.frameAllocs = s.frameAllocs
+	k.forcePopulate = s.forcePopulate
+	k.probed = k.probe != nil
+}
+
+// clonePTNode deep-copies a page-table subtree.
+func clonePTNode(n *ptNode) *ptNode {
+	if n == nil {
+		return nil
+	}
+	c := &ptNode{pfn: n.pfn}
+	if n.children != nil {
+		c.children = make([]*ptNode, len(n.children))
+		for i, ch := range n.children {
+			c.children[i] = clonePTNode(ch)
+		}
+	}
+	if n.pte != nil {
+		c.pte = append([]uint64(nil), n.pte...)
+	}
+	return c
+}
+
+// AddressSpaceSnapshot is a deep copy of one process's address-space state:
+// the 4-level page table, the sorted VMA list, the mmap cursor, and the
+// residency gauges. The Shootdown callback is NOT captured (it points at the
+// restoring machine's TLBs); the caller re-wires it after restore.
+type AddressSpaceSnapshot struct {
+	root       *ptNode
+	tablePages uint64
+	vmas       []vma
+	cursor     uint64
+	metaFrame  uint64
+
+	residentPages uint64
+	peakResident  uint64
+	vmasCreated   uint64
+}
+
+// Snapshot captures the address space. The returned value is immutable and
+// may be restored any number of times (each restore re-clones the tree).
+func (as *AddressSpace) Snapshot() *AddressSpaceSnapshot {
+	return &AddressSpaceSnapshot{
+		root:          clonePTNode(as.pt.root),
+		tablePages:    as.pt.tablePages,
+		vmas:          append([]vma(nil), as.vmas...),
+		cursor:        as.cursor,
+		metaFrame:     as.metaFrame,
+		residentPages: as.residentPages,
+		peakResident:  as.peakResident,
+		vmasCreated:   as.vmasCreated,
+	}
+}
+
+// RestoreAddressSpace materializes a new AddressSpace from a snapshot,
+// without charging any cycles or allocating any frames: the snapshot's
+// frames (data pages, page-table pages, the metadata frame) are already
+// accounted as allocated in the kernel Snapshot taken alongside it. The
+// caller must set the Shootdown callback before use.
+func (k *Kernel) RestoreAddressSpace(s *AddressSpaceSnapshot) *AddressSpace {
+	return &AddressSpace{
+		k:             k,
+		pt:            &PageTable{root: clonePTNode(s.root), tablePages: s.tablePages},
+		vmas:          append([]vma(nil), s.vmas...),
+		cursor:        s.cursor,
+		metaFrame:     s.metaFrame,
+		residentPages: s.residentPages,
+		peakResident:  s.peakResident,
+		vmasCreated:   s.vmasCreated,
+	}
+}

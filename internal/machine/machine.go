@@ -7,6 +7,8 @@
 package machine
 
 import (
+	"sync"
+
 	"memento/internal/cache"
 	"memento/internal/config"
 	"memento/internal/core"
@@ -64,6 +66,10 @@ type Options struct {
 	// (kernel buddy allocations and Memento pool pops) for fault injection;
 	// see internal/faultinject for ready-made deterministic triggers.
 	AllocHook AllocHook
+	// Warm, when non-nil, makes RunWarm restore this checkpoint instead of
+	// simulating process setup (see PrepareWarm). The checkpoint must match
+	// the run's setup-shaping fields; observation options may differ.
+	Warm *WarmStart
 }
 
 // AllocHook intercepts physical frame allocations for fault injection. It
@@ -205,6 +211,12 @@ func (m *Machine) Run(tr *trace.Trace, opt Options) (Result, error) {
 	if err != nil {
 		return Result{}, simerr.WithRun(err, tr.Name, opt.Stack.String(), -1)
 	}
+	return m.runLoop(p, tr, opt)
+}
+
+// runLoop replays the trace events on an already-set-up process (fresh from
+// newProcess or restored from a warm-start checkpoint) and tears it down.
+func (m *Machine) runLoop(p *process, tr *trace.Trace, opt Options) (Result, error) {
 	fail := func(err error, event int) (Result, error) {
 		err = simerr.WithRun(err, tr.Name, opt.Stack.String(), event)
 		p.destroy()
@@ -225,28 +237,50 @@ func (m *Machine) Run(tr *trace.Trace, opt Options) (Result, error) {
 	return r, nil
 }
 
-// RunPair runs the same trace on a fresh baseline machine and a fresh
-// Memento machine with identical configuration, the comparison every
-// speedup figure is built on.
+// RunPair runs the same trace on a baseline machine and a Memento machine
+// with identical configuration, the comparison every speedup figure is
+// built on. The two stacks run concurrently on independent machines (each
+// restored from its own warm-start checkpoint when one is cached — see
+// RunWarm). Runs carrying a Probe or AllocHook stay sequential and cold:
+// those hooks run synchronously on the simulation goroutine and would
+// otherwise interleave across stacks. Options.Warm is ignored here (a
+// checkpoint is single-stack); use RunWarm for explicit checkpoints.
 func RunPair(cfg config.Machine, tr *trace.Trace, opt Options) (base, mem Result, err error) {
-	mb, err := New(cfg)
-	if err != nil {
+	ob, om := opt, opt
+	ob.Stack, om.Stack = Baseline, Memento
+	ob.Warm, om.Warm = nil, nil
+	if opt.Probe != nil || opt.AllocHook != nil {
+		mb, err := New(cfg)
+		if err != nil {
+			return base, mem, err
+		}
+		base, err = mb.Run(tr, ob)
+		if err != nil {
+			return base, mem, err
+		}
+		mm, err := New(cfg)
+		if err != nil {
+			return base, mem, err
+		}
+		mem, err = mm.Run(tr, om)
 		return base, mem, err
 	}
-	ob := opt
-	ob.Stack = Baseline
-	base, err = mb.Run(tr, ob)
+	var wg sync.WaitGroup
+	var merr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		mem, merr = RunWarm(cfg, tr, om)
+	}()
+	base, err = RunWarm(cfg, tr, ob)
+	wg.Wait()
 	if err != nil {
-		return base, mem, err
+		return Result{}, Result{}, err
 	}
-	mm, err := New(cfg)
-	if err != nil {
-		return base, mem, err
+	if merr != nil {
+		return base, Result{}, merr
 	}
-	om := opt
-	om.Stack = Memento
-	mem, err = mm.Run(tr, om)
-	return base, mem, err
+	return base, mem, nil
 }
 
 // Speedup returns base cycles / memento cycles.

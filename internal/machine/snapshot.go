@@ -1,0 +1,203 @@
+package machine
+
+import (
+	"fmt"
+
+	"memento/internal/cache"
+	"memento/internal/config"
+	"memento/internal/core"
+	"memento/internal/dram"
+	"memento/internal/kernel"
+	"memento/internal/simerr"
+	"memento/internal/softalloc"
+	"memento/internal/telemetry"
+	"memento/internal/tlb"
+	"memento/internal/trace"
+)
+
+// Snapshot is a compact deep copy of a machine's hardware state: DRAM row
+// buffers, the cache hierarchy, both TLB levels, and the kernel's
+// machine-wide state (buddy allocator + counters). It is immutable — both
+// capture and restore clone — so one snapshot can seed any number of
+// machines, concurrently. Observation wiring (probes, fault-injection
+// hooks) is never part of a snapshot; it is re-attached per run.
+type Snapshot struct {
+	cfg  config.Machine
+	d    *dram.Snapshot
+	h    *cache.HierarchySnapshot
+	tlbs *tlb.SystemSnapshot
+	k    *kernel.Snapshot
+}
+
+// Config returns the configuration the snapshot was taken under.
+func (s *Snapshot) Config() config.Machine { return s.cfg }
+
+// Snapshot captures the machine's hardware state.
+func (m *Machine) Snapshot() *Snapshot {
+	return &Snapshot{
+		cfg:  m.cfg,
+		d:    m.d.Snapshot(),
+		h:    m.h.Snapshot(),
+		tlbs: m.tlbs.Snapshot(),
+		k:    m.k.Snapshot(),
+	}
+}
+
+// Restore replaces the machine's hardware state with a copy of s. The
+// machine must have been built from the same configuration; probe and hook
+// attachments survive the restore (their cached flags are re-derived).
+func (m *Machine) Restore(s *Snapshot) error {
+	if m.cfg != s.cfg {
+		return fmt.Errorf("machine: restore of snapshot from a different configuration: %w", simerr.ErrInvalidConfig)
+	}
+	m.d.Restore(s.d)
+	m.h.Restore(s.h)
+	m.tlbs.Restore(s.tlbs)
+	m.k.Restore(s.k)
+	return nil
+}
+
+// procSnapshot is a deep copy of one process's post-setup state: the
+// address space, the stack-specific allocator state, the cycle buckets the
+// setup charged, and the application-buffer cursor/RNG. It is captured
+// before the first trace event, so the object table and live list (always
+// empty at that point) are not part of it.
+type procSnapshot struct {
+	stack Stack
+	lang  trace.Language
+
+	as *kernel.AddressSpaceSnapshot
+
+	// Baseline path.
+	alloc softalloc.AllocSnapshot
+	// Memento path.
+	pa    *core.PageAllocSnapshot
+	unit  *core.UnitSnapshot
+	large softalloc.AllocSnapshot
+
+	b Buckets
+
+	appBufVA  uint64
+	appBufLen uint64
+	appCursor uint64
+	appRng    uint64
+}
+
+// captureState deep-copies the process's state. It must be called before
+// the first trace event (the object table is not captured).
+func (p *process) captureState() *procSnapshot {
+	if p.pc != 0 || len(p.liveList) != 0 {
+		panic("machine: captureState after trace events began")
+	}
+	s := &procSnapshot{
+		stack:     p.opt.Stack,
+		lang:      p.tr.Lang,
+		as:        p.as.Snapshot(),
+		b:         p.b,
+		appBufVA:  p.appBufVA,
+		appBufLen: p.appBufLen,
+		appCursor: p.appCursor,
+		appRng:    p.appRng,
+	}
+	if p.alloc != nil {
+		s.alloc = p.alloc.Snapshot()
+	}
+	if p.pa != nil {
+		s.pa = p.pa.Snapshot()
+		s.unit = p.unit.Snapshot()
+		s.large = p.large.Snapshot()
+	}
+	return s
+}
+
+// restoreProcess rebuilds a process from a post-setup snapshot without
+// charging any simulated cycles or allocating any simulated frames: the
+// machine snapshot restored alongside it already accounts for everything
+// setup did. It mirrors newProcess's wiring — per-run observation state
+// (probe attachment, fault-injection hooks, force-populate mode, the
+// timeline) comes from opt, not from the snapshot, so a restored run can be
+// observed differently from the run that was captured.
+func (m *Machine) restoreProcess(tr *trace.Trace, opt Options, ps *procSnapshot) (*process, error) {
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	if opt.Stack != ps.stack || tr.Lang != ps.lang {
+		return nil, fmt.Errorf("machine: warm snapshot is for stack %v / lang %v, run wants %v / %v: %w",
+			ps.stack, ps.lang, opt.Stack, tr.Lang, simerr.ErrInvalidConfig)
+	}
+	m.k.SetAllocHook(opt.AllocHook)
+	m.k.SetForcePopulate(opt.MmapPopulate)
+	m.attachProbe(opt.Probe)
+
+	as := m.k.RestoreAddressSpace(ps.as)
+	scr := newScratch(tr.Objects)
+	p := &process{
+		m:        m,
+		tr:       tr,
+		opt:      opt,
+		as:       as,
+		scr:      scr,
+		objs:     scr.objs,
+		liveList: scr.liveList,
+	}
+	p.mmu = &mmu{p: p}
+	as.Shootdown = m.tlbs.Shootdown
+	// fail returns the scratch to the pool; the caller abandons the machine
+	// on error, so no simulated teardown is needed.
+	fail := func(err error) (*process, error) {
+		p.release()
+		return nil, err
+	}
+
+	switch ps.stack {
+	case Baseline:
+		switch tr.Lang {
+		case trace.Python:
+			p.alloc = softalloc.NewPyMalloc(m.cfg, m.k, as, p.mmu)
+		case trace.Cpp:
+			jo := softalloc.DefaultJEMallocOpts()
+			if opt.JEMallocOpts != nil {
+				jo = *opt.JEMallocOpts
+			}
+			p.alloc = softalloc.NewJEMalloc(m.cfg, m.k, as, p.mmu, jo)
+		case trace.Golang:
+			p.alloc = softalloc.NewGoAlloc(m.cfg, m.k, as, p.mmu)
+		default:
+			return fail(fmt.Errorf("machine: unknown language %v: %w", tr.Lang, simerr.ErrTraceInvalid))
+		}
+		if err := p.alloc.Restore(ps.alloc); err != nil {
+			return fail(err)
+		}
+	case Memento:
+		lay, err := core.NewLayout(m.cfg.Memento, core.DefaultRegionStart, core.DefaultRegionBytes)
+		if err != nil {
+			return fail(err)
+		}
+		pa := core.RestorePageAllocator(m.cfg, lay, m.h, m.k, ps.pa)
+		pa.Shootdown = m.tlbs.Shootdown
+		pa.SetAllocHook(opt.AllocHook)
+		p.pa = pa
+		unit, err := core.NewUnit(m.cfg, lay, pa, m.h, p.mmu)
+		if err != nil {
+			return fail(err)
+		}
+		unit.Restore(ps.unit)
+		p.unit = unit
+		p.large = softalloc.NewLargeAlloc(m.cfg, m.k, as, p.mmu)
+		if err := p.large.Restore(ps.large); err != nil {
+			return fail(err)
+		}
+	}
+
+	p.b = ps.b
+	p.appBufVA, p.appBufLen = ps.appBufVA, ps.appBufLen
+	p.appCursor, p.appRng = ps.appCursor, ps.appRng
+	if opt.TimelineInterval > 0 {
+		// The restored counters are exactly the cold run's post-setup
+		// counters, so this anchor sample is byte-identical to a cold one.
+		p.timeline = telemetry.NewTimeline(opt.TimelineInterval)
+		p.timeline.Record(p.snapshot())
+	}
+	p.observed = opt.Probe != nil || p.timeline != nil
+	return p, nil
+}

@@ -1,0 +1,374 @@
+package softalloc
+
+import "fmt"
+
+// The software allocators keep their state in pointer graphs (pools linked
+// from arenas and per-class lists, runs shared between free lists and owner
+// maps). Snapshots clone those graphs with identity maps so shared pointers
+// stay shared, and every Restore clones again from the snapshot — a snapshot
+// is immutable and can seed any number of allocators. Environment wiring
+// (kernel, address space, VMem) is never captured: a restored allocator
+// keeps the environment it was constructed with.
+
+func errSnapshotType(name string, s AllocSnapshot) error {
+	return fmt.Errorf("softalloc: %s: restore of foreign snapshot %T", name, s)
+}
+
+// ---- glibc large path ----
+
+type largeSnapshot struct {
+	bumpVA, endVA uint64
+	bins          map[uint][]uint64
+	blocks        map[uint64]uint64
+	mmapped       map[uint64]bool
+	stats         Stats
+}
+
+func (*largeSnapshot) allocSnapshot() {}
+
+func cloneLarge(l *LargeAlloc) *largeSnapshot {
+	s := &largeSnapshot{
+		bumpVA:  l.bumpVA,
+		endVA:   l.endVA,
+		bins:    make(map[uint][]uint64, len(l.bins)),
+		blocks:  make(map[uint64]uint64, len(l.blocks)),
+		mmapped: make(map[uint64]bool, len(l.mmapped)),
+		stats:   l.stats,
+	}
+	for o, vs := range l.bins {
+		s.bins[o] = append([]uint64(nil), vs...)
+	}
+	for va, sz := range l.blocks {
+		s.blocks[va] = sz
+	}
+	for va, v := range l.mmapped {
+		s.mmapped[va] = v
+	}
+	return s
+}
+
+func (l *LargeAlloc) restoreLarge(s *largeSnapshot) {
+	l.bumpVA, l.endVA = s.bumpVA, s.endVA
+	l.bins = make(map[uint][]uint64, len(s.bins))
+	for o, vs := range s.bins {
+		l.bins[o] = append([]uint64(nil), vs...)
+	}
+	l.blocks = make(map[uint64]uint64, len(s.blocks))
+	for va, sz := range s.blocks {
+		l.blocks[va] = sz
+	}
+	l.mmapped = make(map[uint64]bool, len(s.mmapped))
+	for va, v := range s.mmapped {
+		l.mmapped[va] = v
+	}
+	l.stats = s.stats
+}
+
+// Snapshot implements Allocator.
+func (l *LargeAlloc) Snapshot() AllocSnapshot { return cloneLarge(l) }
+
+// Restore implements Allocator.
+func (l *LargeAlloc) Restore(s AllocSnapshot) error {
+	ls, ok := s.(*largeSnapshot)
+	if !ok {
+		return errSnapshotType(l.Name(), s)
+	}
+	l.restoreLarge(ls)
+	return nil
+}
+
+// ---- pymalloc ----
+
+type pySnapshot struct {
+	arenas    []*pyArena
+	usedPools [pyNumClasses][]*pyPool
+	freePools []*pyPool
+	large     *largeSnapshot
+	stats     Stats
+}
+
+func (*pySnapshot) allocSnapshot() {}
+
+// clonePyArenas deep-copies the arena/pool graph, returning the clones and
+// the pool identity map used to remap list pointers. Every pool belongs to
+// exactly one live arena, so the arena list is the universal pool set.
+func clonePyArenas(arenas []*pyArena) ([]*pyArena, map[*pyPool]*pyPool) {
+	m := make(map[*pyPool]*pyPool)
+	out := make([]*pyArena, len(arenas))
+	for i, a := range arenas {
+		na := &pyArena{base: a.base, freePools: a.freePools}
+		na.pools = make([]*pyPool, len(a.pools))
+		for pi, pl := range a.pools {
+			np := &pyPool{
+				base:       pl.base,
+				arena:      na,
+				class:      pl.class,
+				objSize:    pl.objSize,
+				capacity:   pl.capacity,
+				freeList:   append([]uint16(nil), pl.freeList...),
+				used:       pl.used,
+				inUsedList: pl.inUsedList,
+				assigned:   pl.assigned,
+			}
+			if pl.allocated != nil {
+				np.allocated = append([]bool(nil), pl.allocated...)
+			}
+			na.pools[pi] = np
+			m[pl] = np
+		}
+		out[i] = na
+	}
+	return out, m
+}
+
+func mapPyPools(pools []*pyPool, m map[*pyPool]*pyPool) []*pyPool {
+	if pools == nil {
+		return nil
+	}
+	out := make([]*pyPool, len(pools))
+	for i, pl := range pools {
+		out[i] = m[pl]
+	}
+	return out
+}
+
+// Snapshot implements Allocator.
+func (p *PyMalloc) Snapshot() AllocSnapshot {
+	arenas, m := clonePyArenas(p.arenas)
+	s := &pySnapshot{
+		arenas:    arenas,
+		freePools: mapPyPools(p.freePools, m),
+		large:     cloneLarge(p.large),
+		stats:     p.stats,
+	}
+	for cls := range p.usedPools {
+		s.usedPools[cls] = mapPyPools(p.usedPools[cls], m)
+	}
+	return s
+}
+
+// Restore implements Allocator.
+func (p *PyMalloc) Restore(s AllocSnapshot) error {
+	ps, ok := s.(*pySnapshot)
+	if !ok {
+		return errSnapshotType(p.Name(), s)
+	}
+	arenas, m := clonePyArenas(ps.arenas)
+	p.arenas = arenas
+	p.freePools = mapPyPools(ps.freePools, m)
+	for cls := range ps.usedPools {
+		p.usedPools[cls] = mapPyPools(ps.usedPools[cls], m)
+	}
+	p.poolByVA = make(map[uint64]*pyPool)
+	for _, a := range arenas {
+		for _, pl := range a.pools {
+			p.poolByVA[pl.base] = pl
+		}
+	}
+	p.large.restoreLarge(ps.large)
+	p.stats = ps.stats
+	return nil
+}
+
+// ---- jemalloc ----
+
+type jeSnapshot struct {
+	opts     JEMallocOpts
+	chunks   []jeChunk
+	tcache   [jeNumClasses][]uint64
+	runs     [jeNumClasses][]*jeRun
+	runByVA  map[uint64]*jeRun
+	owner    map[uint64]*jeRun
+	inTcache map[uint64]struct{}
+	large    *largeSnapshot
+	stats    Stats
+	initDone bool
+}
+
+func (*jeSnapshot) allocSnapshot() {}
+
+// cloneJERuns deep-copies every carved run (runByVA is the universal set —
+// runs are never destroyed) and returns the clones with the identity map.
+func cloneJERuns(runByVA map[uint64]*jeRun) (map[uint64]*jeRun, map[*jeRun]*jeRun) {
+	m := make(map[*jeRun]*jeRun, len(runByVA))
+	out := make(map[uint64]*jeRun, len(runByVA))
+	for base, r := range runByVA {
+		nr := &jeRun{
+			base:     r.base,
+			class:    r.class,
+			objSize:  r.objSize,
+			capacity: r.capacity,
+			freeList: append([]uint16(nil), r.freeList...),
+			used:     r.used,
+		}
+		out[base] = nr
+		m[r] = nr
+	}
+	return out, m
+}
+
+func mapJERuns(runs []*jeRun, m map[*jeRun]*jeRun) []*jeRun {
+	if runs == nil {
+		return nil
+	}
+	out := make([]*jeRun, len(runs))
+	for i, r := range runs {
+		out[i] = m[r]
+	}
+	return out
+}
+
+func mapJEOwner(owner map[uint64]*jeRun, m map[*jeRun]*jeRun) map[uint64]*jeRun {
+	out := make(map[uint64]*jeRun, len(owner))
+	for va, r := range owner {
+		out[va] = m[r]
+	}
+	return out
+}
+
+func (j *JEMalloc) cloneInto(dst *jeSnapshot) {
+	dst.opts = j.opts
+	dst.chunks = make([]jeChunk, len(j.chunks))
+	for i, c := range j.chunks {
+		dst.chunks[i] = *c
+	}
+	for cls := range j.tcache {
+		dst.tcache[cls] = append([]uint64(nil), j.tcache[cls]...)
+	}
+	runByVA, m := cloneJERuns(j.runByVA)
+	dst.runByVA = runByVA
+	for cls := range j.runs {
+		dst.runs[cls] = mapJERuns(j.runs[cls], m)
+	}
+	dst.owner = mapJEOwner(j.owner, m)
+	dst.inTcache = make(map[uint64]struct{}, len(j.inTcache))
+	for va := range j.inTcache {
+		dst.inTcache[va] = struct{}{}
+	}
+	dst.large = cloneLarge(j.large)
+	dst.stats = j.stats
+	dst.initDone = j.initDone
+}
+
+// Snapshot implements Allocator.
+func (j *JEMalloc) Snapshot() AllocSnapshot {
+	s := &jeSnapshot{}
+	j.cloneInto(s)
+	return s
+}
+
+// Restore implements Allocator.
+func (j *JEMalloc) Restore(s AllocSnapshot) error {
+	js, ok := s.(*jeSnapshot)
+	if !ok {
+		return errSnapshotType(j.Name(), s)
+	}
+	j.opts = js.opts
+	j.chunks = make([]*jeChunk, len(js.chunks))
+	for i := range js.chunks {
+		c := js.chunks[i]
+		j.chunks[i] = &c
+	}
+	for cls := range js.tcache {
+		j.tcache[cls] = append([]uint64(nil), js.tcache[cls]...)
+	}
+	runByVA, m := cloneJERuns(js.runByVA)
+	j.runByVA = runByVA
+	for cls := range js.runs {
+		j.runs[cls] = mapJERuns(js.runs[cls], m)
+	}
+	j.owner = mapJEOwner(js.owner, m)
+	j.inTcache = make(map[uint64]struct{}, len(js.inTcache))
+	for va := range js.inTcache {
+		j.inTcache[va] = struct{}{}
+	}
+	j.large.restoreLarge(js.large)
+	j.stats = js.stats
+	j.initDone = js.initDone
+	return nil
+}
+
+// ---- Go runtime allocator ----
+
+type goSnapshot struct {
+	arenas  []goArena
+	mcache  [goNumClasses][]*goSpan
+	owner   map[uint64]*goSpan
+	large   *largeSnapshot
+	stats   Stats
+	liveObj uint64
+}
+
+func (*goSnapshot) allocSnapshot() {}
+
+// goSpanCloner lazily clones spans with identity preserved; the universal
+// span set is the union of the mcache lists and the owner map values.
+type goSpanCloner map[*goSpan]*goSpan
+
+func (m goSpanCloner) clone(s *goSpan) *goSpan {
+	if c, ok := m[s]; ok {
+		return c
+	}
+	c := &goSpan{
+		base:     s.base,
+		class:    s.class,
+		objSize:  s.objSize,
+		capacity: s.capacity,
+		freeList: append([]uint16(nil), s.freeList...),
+		used:     s.used,
+	}
+	m[s] = c
+	return c
+}
+
+func cloneGoSpans(mcache *[goNumClasses][]*goSpan, owner map[uint64]*goSpan) ([goNumClasses][]*goSpan, map[uint64]*goSpan) {
+	cl := make(goSpanCloner)
+	var nm [goNumClasses][]*goSpan
+	for cls := range mcache {
+		if mcache[cls] == nil {
+			continue
+		}
+		nm[cls] = make([]*goSpan, len(mcache[cls]))
+		for i, s := range mcache[cls] {
+			nm[cls][i] = cl.clone(s)
+		}
+	}
+	no := make(map[uint64]*goSpan, len(owner))
+	for va, s := range owner {
+		no[va] = cl.clone(s)
+	}
+	return nm, no
+}
+
+// Snapshot implements Allocator.
+func (g *GoAlloc) Snapshot() AllocSnapshot {
+	s := &goSnapshot{
+		arenas:  make([]goArena, len(g.arenas)),
+		large:   cloneLarge(g.large),
+		stats:   g.stats,
+		liveObj: g.liveObj,
+	}
+	for i, a := range g.arenas {
+		s.arenas[i] = *a
+	}
+	s.mcache, s.owner = cloneGoSpans(&g.mcache, g.owner)
+	return s
+}
+
+// Restore implements Allocator.
+func (g *GoAlloc) Restore(s AllocSnapshot) error {
+	gs, ok := s.(*goSnapshot)
+	if !ok {
+		return errSnapshotType(g.Name(), s)
+	}
+	g.arenas = make([]*goArena, len(gs.arenas))
+	for i := range gs.arenas {
+		a := gs.arenas[i]
+		g.arenas[i] = &a
+	}
+	g.mcache, g.owner = cloneGoSpans(&gs.mcache, gs.owner)
+	g.large.restoreLarge(gs.large)
+	g.stats = gs.stats
+	g.liveObj = gs.liveObj
+	return nil
+}

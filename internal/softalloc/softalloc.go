@@ -64,6 +64,21 @@ type Allocator interface {
 	Occupancy() float64
 	// Stats returns a copy of the counters.
 	Stats() Stats
+	// Snapshot returns an immutable deep copy of the allocator's state for
+	// warm-start restore. The environment wiring (kernel, address space,
+	// memory) is not part of the snapshot.
+	Snapshot() AllocSnapshot
+	// Restore replaces the allocator's state with a deep copy of a snapshot
+	// previously taken from an allocator of the same type. The allocator's
+	// own environment wiring is kept. It fails on a snapshot of a different
+	// allocator type.
+	Restore(s AllocSnapshot) error
+}
+
+// AllocSnapshot is an opaque allocator snapshot; each allocator defines its
+// own concrete type and only accepts its own in Restore.
+type AllocSnapshot interface {
+	allocSnapshot()
 }
 
 // ErrOutOfMemory is returned when the kernel cannot back more memory. It

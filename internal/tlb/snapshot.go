@@ -1,0 +1,59 @@
+package tlb
+
+// Snapshot is a compact deep copy of one TLB level's mutable state.
+// Geometry is immutable configuration and is not captured; a Snapshot may
+// only be restored into a TLB built from the same TLBConfig.
+//
+// The one-shot fill memo is deliberately NOT captured: it is only valid
+// between a Lookup miss and the Insert that services it, and a snapshot is
+// never taken mid-translation. Restore clears it.
+type Snapshot struct {
+	entries      []entry
+	mru          []int32
+	tick         uint64
+	hits, misses uint64
+}
+
+// Snapshot captures the level's mutable state. The returned value is
+// immutable and may be restored any number of times.
+func (t *TLB) Snapshot() *Snapshot {
+	return &Snapshot{
+		entries: append([]entry(nil), t.entries...),
+		mru:     append([]int32(nil), t.mru...),
+		tick:    t.tick,
+		hits:    t.hits,
+		misses:  t.misses,
+	}
+}
+
+// Restore replaces the level's state with a copy of s and invalidates the
+// fill memo.
+func (t *TLB) Restore(s *Snapshot) {
+	t.entries = append(t.entries[:0], s.entries...)
+	t.mru = append(t.mru[:0], s.mru...)
+	t.tick = s.tick
+	t.hits = s.hits
+	t.misses = s.misses
+	t.memoOK = false
+}
+
+// SystemSnapshot is a deep copy of both TLB levels plus the translation
+// counters.
+type SystemSnapshot struct {
+	l1, l2 *Snapshot
+	stats  Stats
+}
+
+// Snapshot captures both levels and the system statistics.
+func (s *System) Snapshot() *SystemSnapshot {
+	return &SystemSnapshot{l1: s.L1.Snapshot(), l2: s.L2.Snapshot(), stats: s.stats}
+}
+
+// Restore replaces the system's state with a copy of snap. The probe
+// attachment is preserved; its cached flag is re-derived.
+func (s *System) Restore(snap *SystemSnapshot) {
+	s.L1.Restore(snap.l1)
+	s.L2.Restore(snap.l2)
+	s.stats = snap.stats
+	s.probed = s.probe != nil
+}

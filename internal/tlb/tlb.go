@@ -31,9 +31,16 @@ type TLB struct {
 	ways    int
 	// mru[s] is the way index of set s's most-recently-used entry, probed
 	// first on Lookup.
-	mru          []int32
-	setMask      uint64
-	tick         uint64
+	mru     []int32
+	setMask uint64
+	tick    uint64
+	// Fill memo: a Lookup miss records the victim way its scan passed over so
+	// the Insert that services the miss can skip a second scan. One-shot —
+	// any mutation (Insert, InvalidatePage, Flush, another Lookup) clears it —
+	// so a consumed memo always matches the cold-path victim choice.
+	memoVPN      uint64
+	memoWay      int32
+	memoOK       bool
 	hits, misses uint64
 	lat          uint64
 }
@@ -78,6 +85,7 @@ func (t *TLB) Lookup(vpn uint64) (pfn uint64, ok bool) {
 	set := t.setOf(vpn)
 	ways := t.waysOf(set)
 	want := vpn | validBit
+	t.memoOK = false
 	// MRU fast path: skip the way scan when the last-used entry hits again.
 	if e := &ways[t.mru[set]]; e.vpnw == want {
 		t.tick++
@@ -85,6 +93,9 @@ func (t *TLB) Lookup(vpn uint64) (pfn uint64, ok bool) {
 		t.hits++
 		return e.pfn, true
 	}
+	// Miss scans track the victim Insert would pick (mirroring its loop
+	// exactly: a later invalid way wins, then lowest LRU) to seed the memo.
+	vi, lru := 0, ^uint64(0)
 	for i := range ways {
 		e := &ways[i]
 		if e.vpnw == want {
@@ -94,8 +105,16 @@ func (t *TLB) Lookup(vpn uint64) (pfn uint64, ok bool) {
 			t.mru[set] = int32(i)
 			return e.pfn, true
 		}
+		if e.vpnw&validBit == 0 {
+			vi, lru = i, 0
+			continue
+		}
+		if e.lru < lru {
+			vi, lru = i, e.lru
+		}
 	}
 	t.misses++
+	t.memoVPN, t.memoWay, t.memoOK = vpn, int32(vi), true
 	return 0, false
 }
 
@@ -105,6 +124,15 @@ func (t *TLB) Insert(vpn, pfn uint64) {
 	ways := t.waysOf(set)
 	t.tick++
 	want := vpn | validBit
+	// Fill-memo fast path: the immediately preceding Lookup missed this very
+	// vpn and already picked the victim way; nothing has mutated since.
+	if t.memoOK && t.memoVPN == vpn {
+		t.memoOK = false
+		ways[t.memoWay] = entry{vpnw: want, pfn: pfn, lru: t.tick}
+		t.mru[set] = t.memoWay
+		return
+	}
+	t.memoOK = false
 	vi, lru := 0, ^uint64(0)
 	for i := range ways {
 		if ways[i].vpnw == want {
@@ -128,6 +156,7 @@ func (t *TLB) Insert(vpn, pfn uint64) {
 // InvalidatePage drops the translation for vpn (a shootdown of one page).
 // A stale mru entry is harmless: the fast path re-checks validity and vpn.
 func (t *TLB) InvalidatePage(vpn uint64) {
+	t.memoOK = false
 	set := t.setOf(vpn)
 	ways := t.waysOf(set)
 	want := vpn | validBit
@@ -140,6 +169,7 @@ func (t *TLB) InvalidatePage(vpn uint64) {
 
 // Flush clears all translations (context switch without ASIDs).
 func (t *TLB) Flush() {
+	t.memoOK = false
 	for i := range t.entries {
 		t.entries[i] = entry{}
 	}

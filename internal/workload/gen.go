@@ -1,12 +1,33 @@
 package workload
 
 import (
+	"fmt"
 	"math/rand"
 	"slices"
 	"sort"
+	"sync"
 
 	"memento/internal/trace"
 )
+
+// generated memoizes traces across every consumer in the process (suites,
+// benchmark samples, tests), keyed by the full profile value. Generation is
+// deterministic and replay never mutates a Trace, so sharing one instance
+// process-wide is sound — the same contract the per-suite cache relied on,
+// widened so repeated sweeps stop regenerating identical traces.
+var generated sync.Map // profile signature -> *trace.Trace
+
+// GenerateCached returns the memoized trace for a profile, generating it on
+// first use. Mutated profiles get their own cache entries (the key covers
+// every profile field), so sensitivity studies can use it too.
+func GenerateCached(p Profile) *trace.Trace {
+	key := fmt.Sprintf("%#v", p)
+	if v, ok := generated.Load(key); ok {
+		return v.(*trace.Trace)
+	}
+	v, _ := generated.LoadOrStore(key, Generate(p))
+	return v.(*trace.Trace)
+}
 
 // pendingFree is a scheduled death: the object dies when its size class's
 // allocation counter reaches due (the malloc-free distance is defined in

@@ -111,6 +111,26 @@ func Compare(cfg Config, name string, opt Options) (base, mem Result, err error)
 // Speedup returns base cycles / memento cycles.
 func Speedup(base, mem Result) float64 { return machine.Speedup(base, mem) }
 
+// WarmStart is a reusable post-setup checkpoint: restoring it skips
+// re-simulating process setup (the serverless warm start) while producing
+// runs bit-identical to cold ones. Build one with PrepareWarm and attach it
+// to a Runner with WithWarmStart, or call its Run method directly.
+type WarmStart = machine.WarmStart
+
+// PrepareWarm simulates process setup for a trace once and returns the
+// reusable checkpoint. The options must carry the setup-shaping fields
+// (stack, cold start, jemalloc knobs, MAP_POPULATE) the later runs will
+// use; observation options may differ per run.
+func PrepareWarm(cfg Config, tr *Trace, opt Options) (*WarmStart, error) {
+	return machine.PrepareWarm(cfg, tr, opt)
+}
+
+// WarmStartsExperiment reports, per workload and stack, the setup cycles a
+// warm invocation skips re-simulating (the `cmd/experiments -warm` table).
+func WarmStartsExperiment(s *experiments.Suite) (Experiment, error) {
+	return experiments.WarmStarts(s)
+}
+
 // RunAllExperiments regenerates every table and figure of the paper's
 // evaluation (Figs 2-3 and Table 1 from traces; Table 2 and Figs 8-14 plus
 // the Section 6.6/6.7 studies from full simulations).

@@ -65,6 +65,17 @@ func WithMmapPopulate() RunOption { return func(o *Options) { o.MmapPopulate = t
 // WithProbe attaches a telemetry probe to every run (nil detaches).
 func WithProbe(p Probe) RunOption { return func(o *Options) { o.Probe = p } }
 
+// WithWarmStart restores the given post-setup checkpoint (see PrepareWarm)
+// at the start of every run instead of simulating setup:
+//
+//	ws, _ := memento.PrepareWarm(cfg, tr, memento.Options{Stack: memento.Memento})
+//	r := memento.NewRunner(cfg, memento.WithStack(memento.Memento), memento.WithWarmStart(ws))
+//	res, _ := r.RunTrace(tr) // bit-identical to a cold run, minus setup time
+//
+// The checkpoint must match the runner's stack and the trace's
+// setup-shaping fields; nil reverts to automatic warm-start reuse.
+func WithWarmStart(ws *WarmStart) RunOption { return func(o *Options) { o.Warm = ws } }
+
 // WithTimeline samples all simulator counters every n trace events into
 // Result.Timeline (n <= 0 disables sampling).
 func WithTimeline(n int) RunOption {
@@ -105,13 +116,12 @@ func (r *Runner) Run(name string) (Result, error) {
 	return r.RunTrace(tr)
 }
 
-// RunTrace executes an arbitrary trace on the configured stack.
+// RunTrace executes an arbitrary trace on the configured stack. Each run
+// gets a fresh machine; repeated runs with the same setup reuse a
+// post-setup snapshot (see PrepareWarm and WithWarmStart), which changes
+// nothing about the results — warm runs are bit-identical to cold ones.
 func (r *Runner) RunTrace(tr *Trace) (Result, error) {
-	m, err := machine.New(r.cfg)
-	if err != nil {
-		return Result{}, err
-	}
-	return m.Run(tr, r.opt)
+	return machine.RunWarm(r.cfg, tr, r.opt)
 }
 
 // Compare runs a named workload on both stacks (fresh machines, identical

@@ -4,32 +4,51 @@
 #
 # Usage: scripts/bench_sweep.sh [count]
 #   count  benchmark repetitions (default 3)
+#
+# Environment:
+#   COUNT      repetitions (overridden by the positional arg)
+#   BENCH      benchmark regex to run (default ^BenchmarkSweep$)
+#   BENCH_OUT  output file (default BENCH_sweep.json)
+#
+# When the output file already exists, its mean is carried into the new
+# file's delta_vs_previous field ((new-old)/old; negative = faster).
 set -eu
 
 cd "$(dirname "$0")/.."
-COUNT="${1:-3}"
+COUNT="${1:-${COUNT:-3}}"
+BENCH="${BENCH:-^BenchmarkSweep$}"
 OUT="${BENCH_OUT:-BENCH_sweep.json}"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
-go test -bench='^BenchmarkSweep$' -benchtime=1x -run='^$' -count="$COUNT" . | tee "$RAW"
+PREV_MEAN=""
+if [ -f "$OUT" ]; then
+  PREV_MEAN="$(sed -n 's/.*"mean_ns_per_op": \([0-9]*\).*/\1/p' "$OUT" | head -n1)"
+fi
 
-awk -v count="$COUNT" '
-  /^BenchmarkSweep/ { ns[n++] = $3 }
+go test -bench="$BENCH" -benchtime=1x -run='^$' -count="$COUNT" . | tee "$RAW"
+
+NAME="$(printf '%s' "$BENCH" | sed 's/^\^//; s/\$$//')"
+awk -v count="$COUNT" -v bench="$NAME" -v prev="$PREV_MEAN" '
+  /^Benchmark/ { ns[n++] = $3 }
   /^cpu:/ { sub(/^cpu: /, ""); cpu = $0 }
   END {
-    if (n == 0) { print "bench_sweep: no BenchmarkSweep results" > "/dev/stderr"; exit 1 }
+    if (n == 0) { print "bench_sweep: no benchmark results" > "/dev/stderr"; exit 1 }
     sum = 0
     for (i = 0; i < n; i++) sum += ns[i]
+    mean = sum / n
     printf "{\n"
-    printf "  \"benchmark\": \"BenchmarkSweep\",\n"
+    printf "  \"benchmark\": \"%s\",\n", bench
     printf "  \"cpu\": \"%s\",\n", cpu
     printf "  \"count\": %d,\n", n
     printf "  \"ns_per_op\": ["
     for (i = 0; i < n; i++) printf "%s%s", ns[i], (i < n-1 ? ", " : "")
     printf "],\n"
-    printf "  \"mean_ns_per_op\": %.0f,\n", sum / n
-    printf "  \"mean_seconds\": %.3f\n", sum / n / 1e9
+    printf "  \"mean_ns_per_op\": %.0f,\n", mean
+    if (prev != "") {
+      printf "  \"delta_vs_previous\": %.4f,\n", (mean - prev) / prev
+    }
+    printf "  \"mean_seconds\": %.3f\n", mean / 1e9
     printf "}\n"
   }
 ' "$RAW" > "$OUT"

@@ -18,6 +18,7 @@ allow=(
   "internal/dram/dram.go"            # geometry: validated by config.Validate
   "internal/core/arena.go"           # bitmap/list invariants: allocator-internal state
   "internal/core/unit.go"            # replaceEntry: eviction always frees a slot
+  "internal/machine/snapshot.go"     # captureState: callers checkpoint before any trace event
 )
 
 fail=0
