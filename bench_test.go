@@ -14,6 +14,7 @@ import (
 	"memento/internal/core"
 	"memento/internal/dram"
 	"memento/internal/experiments"
+	"memento/internal/fleet"
 	"memento/internal/kernel"
 	"memento/internal/machine"
 	"memento/internal/tlb"
@@ -102,6 +103,36 @@ func BenchmarkTable3Config(b *testing.B) {
 		e := experiments.Table3Config(s)
 		if len(e.Rows) == 0 {
 			b.Fatal("bad table3")
+		}
+	}
+}
+
+// BenchmarkFleet measures one fleet run: 2000 Poisson invocations
+// discrete-event-scheduled across 4x2 cores under the LRU policy (the
+// `-fleet` study's heaviest row shape). The machine-backed cost model is
+// warmed outside the timer, so the number isolates the scheduler itself —
+// arrival generation, the event heap, placement, and eviction.
+func BenchmarkFleet(b *testing.B) {
+	be := fleet.NewSimBackend(config.Default())
+	mk := func() *fleet.Fleet {
+		return fleet.New(config.Default(),
+			fleet.WithArrivals(fleet.Poisson(2000, 6_000_000, 11)),
+			fleet.WithHosts(fleet.Hosts{Count: 4, Cores: 2, MemPages: 16384}),
+			fleet.WithPolicy(fleet.LRU()),
+			fleet.WithBackend(be),
+		)
+	}
+	if _, err := mk().Run(machine.Memento); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := mk().Run(machine.Memento)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Invocations != 2000 {
+			b.Fatal("incomplete fleet run")
 		}
 	}
 }

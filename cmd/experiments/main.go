@@ -10,6 +10,7 @@
 //	experiments -json all.json  # also export the printed experiments as JSON
 //	experiments -workers 4      # bound the sweep's parallel fan-out
 //	experiments -warm           # the warm-start study (setup cycles saved)
+//	experiments -fleet          # the fleet simulation study (cluster scale)
 package main
 
 import (
@@ -27,17 +28,22 @@ func main() {
 	jsonOut := flag.String("json", "", "write the printed experiments as a JSON array to FILE (- for stdout)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel workers for the workload sweep")
 	warm := flag.Bool("warm", false, "print the warm-start study (setup cycles skipped per invocation) instead of the paper's tables")
+	fleetStudy := flag.Bool("fleet", false, "print the fleet simulation study (arrival pattern x policy x stack) instead of the paper's tables")
 	flag.Parse()
 
-	s := memento.NewSuite(memento.DefaultConfig())
-	s.Workers = *workers
+	s := memento.NewSuite(memento.DefaultConfig(), memento.WithWorkers(*workers))
 	var exps []memento.Experiment
 	var err error
-	if *warm {
+	switch {
+	case *warm:
 		var e memento.Experiment
 		e, err = memento.WarmStartsExperiment(s)
 		exps = []memento.Experiment{e}
-	} else {
+	case *fleetStudy:
+		var e memento.Experiment
+		e, err = memento.FleetExperiment(s)
+		exps = []memento.Experiment{e}
+	default:
 		exps, err = s.All()
 	}
 	if err != nil {

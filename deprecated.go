@@ -1,0 +1,48 @@
+package memento
+
+// This file collects the package's deprecated positional API. Every
+// function here is a thin wrapper over the Runner path and returns results
+// byte-identical to its replacement (runner_test.go pins that); none will
+// be removed, but new code should use NewRunner with functional options.
+
+// Run executes one named workload on one stack.
+//
+// Deprecated: use NewRunner with functional options instead; the options
+// struct does not compose with probes or warm starts. Equivalent call:
+//
+//	memento.NewRunner(cfg, memento.WithOptions(opt)).Run(name)
+func Run(cfg Config, name string, opt Options) (Result, error) {
+	return (&Runner{cfg: cfg, opt: opt}).Run(name)
+}
+
+// RunTrace executes an arbitrary trace on one stack.
+//
+// Deprecated: use NewRunner with functional options instead. Equivalent
+// call:
+//
+//	memento.NewRunner(cfg, memento.WithOptions(opt)).RunTrace(tr)
+func RunTrace(cfg Config, tr *Trace, opt Options) (Result, error) {
+	return (&Runner{cfg: cfg, opt: opt}).RunTrace(tr)
+}
+
+// Compare runs a named workload on both stacks with identical
+// configuration.
+//
+// Deprecated: use NewRunner with functional options instead (see
+// ExampleRunner_Compare). Equivalent call:
+//
+//	memento.NewRunner(cfg, memento.WithOptions(opt)).Compare(name)
+func Compare(cfg Config, name string, opt Options) (base, mem Result, err error) {
+	return (&Runner{cfg: cfg, opt: opt}).Compare(name)
+}
+
+// RunMultiProcess time-shares one core among several traces (the §6.6
+// multi-process study).
+//
+// Deprecated: use NewRunner with functional options instead. Equivalent
+// call:
+//
+//	memento.NewRunner(cfg, memento.WithOptions(opt)).RunMultiProcess(traces, quantumEvents)
+func RunMultiProcess(cfg Config, traces []*Trace, opt Options, quantumEvents int) ([]Result, error) {
+	return (&Runner{cfg: cfg, opt: opt}).RunMultiProcess(traces, quantumEvents)
+}

@@ -65,3 +65,40 @@ func TestPublicFaultInjection(t *testing.T) {
 		t.Fatalf("clean rerun failed: %v", err)
 	}
 }
+
+// TestWithAllocHookDetach pins the attach/detach symmetry: nil detaches,
+// and so does a typed nil (*FaultHook)(nil), which would otherwise wrap a
+// nil pointer into a non-nil interface and panic inside the machine layer.
+// Runner.AllocHook makes the attached hook queryable.
+func TestWithAllocHookDetach(t *testing.T) {
+	tr, err := memento.GenerateTrace("aes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hook := memento.FailNth(1)
+
+	// Attach then query.
+	r := memento.NewRunner(memento.DefaultConfig(), memento.WithAllocHook(hook))
+	if got := r.AllocHook(); got != memento.AllocHook(hook) {
+		t.Fatalf("AllocHook() = %v, want the attached hook", got)
+	}
+
+	// Untyped nil detaches.
+	r = memento.NewRunner(memento.DefaultConfig(),
+		memento.WithAllocHook(hook), memento.WithAllocHook(nil))
+	if got := r.AllocHook(); got != nil {
+		t.Fatalf("AllocHook() after nil detach = %v, want nil", got)
+	}
+
+	// Typed nil detaches identically instead of panicking at run time.
+	var typedNil *memento.FaultHook
+	r = memento.NewRunner(memento.DefaultConfig(),
+		memento.WithStack(memento.Baseline),
+		memento.WithAllocHook(hook), memento.WithAllocHook(typedNil))
+	if got := r.AllocHook(); got != nil {
+		t.Fatalf("AllocHook() after typed-nil detach = %v, want nil", got)
+	}
+	if _, err := r.RunTrace(tr); err != nil {
+		t.Fatalf("run with detached hook failed: %v", err)
+	}
+}

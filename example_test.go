@@ -6,11 +6,12 @@ import (
 	"memento"
 )
 
-// ExampleCompare runs one serverless function on the baseline software
-// stack and on Memento and reports where the savings come from.
-func ExampleCompare() {
-	cfg := memento.DefaultConfig()
-	base, mem, err := memento.Compare(cfg, "aes", memento.Options{})
+// ExampleRunner_Compare runs one serverless function on the baseline
+// software stack and on Memento and reports where the savings come from —
+// the option-based replacement for the deprecated positional Compare.
+func ExampleRunner_Compare() {
+	r := memento.NewRunner(memento.DefaultConfig())
+	base, mem, err := r.Compare("aes")
 	if err != nil {
 		panic(err)
 	}
@@ -21,6 +22,66 @@ func ExampleCompare() {
 	// faster: true
 	// hardware allocations: true
 	// kernel faults removed: true
+}
+
+// ExampleRunner_Run selects the stack and studies with functional options —
+// the replacement for the deprecated positional Run.
+func ExampleRunner_Run() {
+	cfg := memento.DefaultConfig()
+	warm, err := memento.NewRunner(cfg, memento.WithStack(memento.Memento)).Run("aes")
+	if err != nil {
+		panic(err)
+	}
+	cold, err := memento.NewRunner(cfg,
+		memento.WithStack(memento.Memento), memento.WithColdStart()).Run("aes")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("cold start costs more: %v\n", cold.Cycles > warm.Cycles)
+	// Output:
+	// cold start costs more: true
+}
+
+// ExampleRunner_RunMultiProcess time-shares one core among several traces —
+// the replacement for the deprecated positional RunMultiProcess.
+func ExampleRunner_RunMultiProcess() {
+	tr, err := memento.GenerateTrace("aes")
+	if err != nil {
+		panic(err)
+	}
+	r := memento.NewRunner(memento.DefaultConfig(), memento.WithStack(memento.Memento))
+	results, err := r.RunMultiProcess([]*memento.Trace{tr, tr}, 2000)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("processes: %d, context switches charged: %v\n",
+		len(results), results[0].Buckets.CtxSwitch > 0)
+	// Output:
+	// processes: 2, context switches charged: true
+}
+
+// ExampleNewFleet schedules a small invocation trace across a simulated
+// host pool and reports how the keep-warm policy served it.
+func ExampleNewFleet() {
+	arr := memento.PoissonArrivals(60, 8_000_000, 1)
+	arr.Workloads = []string{"aes"}
+	f := memento.NewFleet(memento.DefaultConfig(),
+		memento.WithArrivals(arr),
+		memento.WithHosts(memento.FleetHosts{Count: 2, Cores: 2, MemPages: 16384}),
+		memento.WithPolicy(memento.KeepAlivePolicy(200_000_000)))
+	r, err := f.Run(memento.Memento)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("completed: %d\n", r.Invocations)
+	fmt.Printf("warm hits served: %v\n", r.WarmHits > 0)
+	fmt.Printf("snapshot restores: %v\n", r.SnapshotRestores > 0)
+	fmt.Printf("tail ordered: %v\n", r.P50 <= r.P99 && r.P99 <= r.P999)
+	// Output:
+	// completed: 60
+	// warm hits served: true
+	// snapshot restores: true
+	// tail ordered: true
 }
 
 // ExampleGenerateTrace inspects a workload's event stream.

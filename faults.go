@@ -1,6 +1,8 @@
 package memento
 
 import (
+	"reflect"
+
 	"memento/internal/faultinject"
 	"memento/internal/machine"
 )
@@ -31,5 +33,32 @@ func FailBelow(k uint64) *FaultHook { return faultinject.FailBelow(k) }
 func FailAfter(n uint64) *FaultHook { return faultinject.FailAfter(n) }
 
 // WithAllocHook threads a fault-injection hook through every frame
-// allocation of subsequent runs (nil detaches).
-func WithAllocHook(h AllocHook) RunOption { return func(o *Options) { o.AllocHook = h } }
+// allocation of subsequent runs; nil detaches. Detachment is symmetric with
+// attachment: a typed nil such as `(*FaultHook)(nil)` — the natural zero of
+// a `var hook *memento.FaultHook` — also detaches instead of smuggling a
+// non-nil interface into the machine layer and panicking on first use.
+// Query the attached hook back with Runner.AllocHook.
+func WithAllocHook(h AllocHook) RunOption {
+	if isNilHook(h) {
+		h = nil
+	}
+	return func(o *Options) { o.AllocHook = h }
+}
+
+// AllocHook returns the fault-injection hook the runner's options carry, or
+// nil when none is attached.
+func (r *Runner) AllocHook() AllocHook { return r.opt.AllocHook }
+
+// isNilHook reports whether h is nil or an interface wrapping a nil
+// pointer/map/func — every shape callers mean as "no hook".
+func isNilHook(h AllocHook) bool {
+	if h == nil {
+		return true
+	}
+	v := reflect.ValueOf(h)
+	switch v.Kind() {
+	case reflect.Pointer, reflect.Map, reflect.Func, reflect.Chan, reflect.Slice, reflect.Interface:
+		return v.IsNil()
+	}
+	return false
+}

@@ -56,6 +56,30 @@ func TestExperimentsWarmGolden(t *testing.T) {
 	diffGolden(t, "experiments_warm_output.txt", []experiments.Experiment{e})
 }
 
+// TestExperimentsFleetGolden pins the fleet simulation study byte for
+// byte: the 18-row pattern x policy x stack table depends on the arrival
+// generator, the discrete-event scheduler, every shipped policy, and the
+// machine-backed cost model, so any drift in any layer surfaces here.
+// Regenerate with:
+//
+//	go run ./cmd/experiments -fleet > experiments_fleet_output.txt
+func TestExperimentsFleetGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full fleet sweep; skipped in -short mode")
+	}
+	if raceEnabled {
+		// Fleet determinism is race-exercised by the internal/fleet tests and
+		// the CI fleet smoke job; the 18-run sweep would only add wall-clock.
+		t.Skip("full fleet sweep; skipped under the race detector")
+	}
+	s := experiments.NewSuite(config.Default())
+	e, err := experiments.FleetStudy(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffGolden(t, "experiments_fleet_output.txt", []experiments.Experiment{e})
+}
+
 // diffGolden renders the experiments exactly as cmd/experiments prints them
 // and diffs against the committed golden file, line by line.
 func diffGolden(t *testing.T, golden string, exps []experiments.Experiment) {

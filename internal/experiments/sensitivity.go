@@ -282,5 +282,17 @@ func (s *Suite) All() ([]Experiment, error) {
 	}
 	out = append(out, ext)
 	out = append(out, Table3Config(s))
+	if s.warm {
+		w, err := WarmStarts(s)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, w)
+	}
+	if s.exportTo != nil {
+		if err := Export(s.exportTo, out); err != nil {
+			return out, err
+		}
+	}
 	return out, nil
 }

@@ -7,6 +7,7 @@ package experiments
 import (
 	"errors"
 	"fmt"
+	"io"
 	"runtime"
 	"sort"
 	"strings"
@@ -32,21 +33,51 @@ type Pair struct {
 // Speedup returns the workload's Memento speedup.
 func (p Pair) Speedup() float64 { return machine.Speedup(p.Base, p.Mem) }
 
-// Suite runs and caches all workloads on all stacks.
+// Suite runs and caches all workloads on all stacks. Configure it with
+// functional options, mirroring the Runner API:
+//
+//	s := experiments.NewSuite(cfg, experiments.WithWorkers(4))
+//	exps, err := s.All()
 type Suite struct {
 	Cfg config.Machine
 	// Workers bounds the sweep's parallel fan-out. Zero or negative selects
 	// runtime.GOMAXPROCS(0), the scheduler's actual parallelism budget.
+	//
+	// Deprecated: set it with the WithWorkers suite option; the field
+	// remains as an alias and stays honored.
 	Workers int
+
+	warm     bool
+	exportTo io.Writer
 
 	once  sync.Once
 	pairs map[string]*Pair
 	err   error
 }
 
-// NewSuite creates a suite over the given machine configuration.
-func NewSuite(cfg config.Machine) *Suite {
-	return &Suite{Cfg: cfg}
+// SuiteOption configures a Suite, the way RunOption configures a Runner.
+type SuiteOption func(*Suite)
+
+// WithWorkers bounds the sweep's parallel fan-out (zero or negative
+// selects runtime.GOMAXPROCS(0)).
+func WithWorkers(n int) SuiteOption { return func(s *Suite) { s.Workers = n } }
+
+// WithWarm makes Suite.All append the warm-start study (the
+// `cmd/experiments -warm` table) after the paper's tables and figures.
+func WithWarm() SuiteOption { return func(s *Suite) { s.warm = true } }
+
+// WithExport makes Suite.All also write the returned experiments in their
+// stable JSON wire form to w on success (nil detaches).
+func WithExport(w io.Writer) SuiteOption { return func(s *Suite) { s.exportTo = w } }
+
+// NewSuite creates a suite over the given machine configuration with the
+// options applied in order.
+func NewSuite(cfg config.Machine, opts ...SuiteOption) *Suite {
+	s := &Suite{Cfg: cfg}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
 }
 
 // genTrace returns the process-wide memoized trace for a profile. Every

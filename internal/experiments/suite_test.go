@@ -2,9 +2,11 @@ package experiments
 
 import (
 	"errors"
+	"strings"
 	"sync"
 	"testing"
 
+	"memento/internal/config"
 	"memento/internal/workload"
 )
 
@@ -108,5 +110,33 @@ func TestPairsErrorAggregation(t *testing.T) {
 	}
 	if _, err := s.ByClass(workload.Function); err == nil {
 		t.Fatal("ByClass must propagate the sweep error")
+	}
+}
+
+// TestSuiteOptions pins the functional-option wiring: WithWorkers is an
+// alias for the deprecated Workers field (both directions stay honored),
+// and WithWarm/WithExport arm the All() extensions without changing the
+// default path (the goldens pin that output byte for byte).
+func TestSuiteOptions(t *testing.T) {
+	s := NewSuite(config.Default(), WithWorkers(3))
+	if s.Workers != 3 {
+		t.Fatalf("WithWorkers(3) set Workers=%d", s.Workers)
+	}
+	s.Workers = 5 // deprecated field write still wins afterwards
+	if s.workerCount(100) != 5 {
+		t.Fatalf("deprecated Workers field not honored: workerCount=%d", s.workerCount(100))
+	}
+
+	var buf strings.Builder
+	s = NewSuite(config.Default(), WithWarm(), WithExport(&buf))
+	if !s.warm {
+		t.Fatal("WithWarm did not arm the warm study")
+	}
+	if s.exportTo != &buf {
+		t.Fatal("WithExport did not attach the writer")
+	}
+
+	if s := NewSuite(config.Default()); s.warm || s.exportTo != nil || s.Workers != 0 {
+		t.Fatalf("default suite not zero-configured: %+v", s)
 	}
 }

@@ -1,0 +1,186 @@
+package fleet
+
+import (
+	"fmt"
+	"math/rand"
+
+	"memento/internal/workload"
+)
+
+// Pattern names an invocation arrival process.
+type Pattern int
+
+const (
+	// PatternPoisson is a memoryless arrival process: exponential
+	// inter-arrival gaps with mean MeanGap.
+	PatternPoisson Pattern = iota
+	// PatternBursty is an on/off modulated Poisson process: bursts of
+	// BurstLen invocations arriving BurstFactor times faster than MeanGap,
+	// separated by idle gaps sized so the long-run rate stays 1/MeanGap.
+	PatternBursty
+	// PatternDiurnal modulates the Poisson rate with a triangle wave of
+	// period Period and relative amplitude Amplitude — the Azure-style
+	// day/night load swing, kept piecewise-linear so the schedule is
+	// bit-deterministic across platforms.
+	PatternDiurnal
+)
+
+// String implements fmt.Stringer.
+func (p Pattern) String() string {
+	switch p {
+	case PatternPoisson:
+		return "poisson"
+	case PatternBursty:
+		return "bursty"
+	case PatternDiurnal:
+		return "diurnal"
+	default:
+		return fmt.Sprintf("pattern(%d)", int(p))
+	}
+}
+
+// Arrivals describes a deterministic invocation arrival trace over a
+// workload mix. Build one with Poisson, Bursty, or Diurnal and adjust the
+// exported fields before handing it to WithArrivals; the same Arrivals
+// value always expands to the same invocation schedule.
+type Arrivals struct {
+	Pattern Pattern
+	// N is the number of invocations to generate.
+	N int
+	// MeanGap is the long-run mean inter-arrival gap in cycles.
+	MeanGap uint64
+	// Seed drives workload choice and gap jitter.
+	Seed int64
+	// Workloads is the uniform workload mix; empty selects the full
+	// 23-workload benchmark suite.
+	Workloads []string
+
+	// BurstLen and BurstFactor shape PatternBursty (defaults 32 and 8).
+	BurstLen    int
+	BurstFactor float64
+	// Period and Amplitude shape PatternDiurnal; Period defaults to a
+	// quarter of the nominal horizon N*MeanGap, Amplitude to 0.8.
+	Period    uint64
+	Amplitude float64
+}
+
+// Poisson returns a Poisson arrival trace of n invocations with the given
+// mean inter-arrival gap.
+func Poisson(n int, meanGap uint64, seed int64) Arrivals {
+	return Arrivals{Pattern: PatternPoisson, N: n, MeanGap: meanGap, Seed: seed}
+}
+
+// Bursty returns an on/off burst arrival trace of n invocations whose
+// long-run rate matches 1/meanGap.
+func Bursty(n int, meanGap uint64, seed int64) Arrivals {
+	return Arrivals{Pattern: PatternBursty, N: n, MeanGap: meanGap, Seed: seed, BurstLen: 32, BurstFactor: 8}
+}
+
+// Diurnal returns a diurnally-modulated arrival trace of n invocations
+// whose long-run rate matches 1/meanGap.
+func Diurnal(n int, meanGap uint64, seed int64) Arrivals {
+	return Arrivals{Pattern: PatternDiurnal, N: n, MeanGap: meanGap, Seed: seed, Amplitude: 0.8}
+}
+
+// Invocation is one function invocation in the fleet's arrival trace.
+type Invocation struct {
+	// ID is the arrival index (0-based).
+	ID int
+	// Workload names the benchmark profile this invocation runs.
+	Workload string
+	// Arrival is the arrival time in cycles.
+	Arrival uint64
+}
+
+// validate checks the shape parameters.
+func (a Arrivals) validate() error {
+	if a.N <= 0 {
+		return fmt.Errorf("fleet: arrivals need N > 0 invocations (got %d)", a.N)
+	}
+	if a.MeanGap == 0 {
+		return fmt.Errorf("fleet: arrivals need MeanGap > 0 cycles")
+	}
+	for _, w := range a.Workloads {
+		if _, ok := workload.ByName(w); !ok {
+			return fmt.Errorf("fleet: unknown workload %q in arrival mix", w)
+		}
+	}
+	return nil
+}
+
+// mix resolves the workload mix.
+func (a Arrivals) mix() []string {
+	if len(a.Workloads) > 0 {
+		return a.Workloads
+	}
+	return workload.Names()
+}
+
+// generate expands the pattern into the deterministic, time-sorted
+// invocation schedule.
+func (a Arrivals) generate() ([]Invocation, error) {
+	if err := a.validate(); err != nil {
+		return nil, err
+	}
+	mix := a.mix()
+	rng := rand.New(rand.NewSource(a.Seed))
+	invs := make([]Invocation, a.N)
+	mean := float64(a.MeanGap)
+
+	burstLen := a.BurstLen
+	if burstLen <= 0 {
+		burstLen = 32
+	}
+	burstFactor := a.BurstFactor
+	if burstFactor < 1 {
+		burstFactor = 8
+	}
+	period := a.Period
+	if period == 0 {
+		period = uint64(a.N) * a.MeanGap / 4
+		if period == 0 {
+			period = a.MeanGap
+		}
+	}
+	amp := a.Amplitude
+	if amp < 0 {
+		amp = 0
+	}
+	if amp > 0.95 {
+		amp = 0.95
+	}
+
+	var now uint64
+	for i := range invs {
+		name := mix[rng.Intn(len(mix))]
+		var gap float64
+		switch a.Pattern {
+		case PatternBursty:
+			gap = rng.ExpFloat64() * mean / burstFactor
+			if (i+1)%burstLen == 0 {
+				// Idle long enough to restore the long-run rate: the burst
+				// saved burstLen*mean*(1-1/f) cycles; pay them back here.
+				gap += float64(burstLen) * mean * (1 - 1/burstFactor)
+			}
+		case PatternDiurnal:
+			// Triangle wave in [1-amp, 1+amp] over the period modulates the
+			// arrival *rate*; the gap divides by it.
+			phase := float64(now%period) / float64(period) // [0,1)
+			tri := 1 - 4*absf(phase-0.5)                   // [-1,1], peak mid-period
+			rate := 1 + amp*tri
+			gap = rng.ExpFloat64() * mean / rate
+		default: // PatternPoisson
+			gap = rng.ExpFloat64() * mean
+		}
+		now += uint64(gap)
+		invs[i] = Invocation{ID: i, Workload: name, Arrival: now}
+	}
+	return invs, nil
+}
+
+func absf(f float64) float64 {
+	if f < 0 {
+		return -f
+	}
+	return f
+}

@@ -1,0 +1,679 @@
+// Package fleet is the cluster-scale layer of the reproduction: a
+// discrete-event simulator that schedules serverless invocation traces
+// (Poisson, bursty, diurnal arrival patterns over the benchmark workloads)
+// across a pool of simulated hosts with pluggable placement and
+// keep-warm/eviction policies.
+//
+// The per-invocation costs come from the machine layer underneath: the
+// default backend builds one warm-start checkpoint per (workload, stack)
+// with machine.PrepareWarm and measures a restored run, so a warm hit in
+// the fleet prices exactly what the snapshot cache saves, and a cold miss
+// pays the measured container-plus-setup cost. The paper evaluates Memento
+// one instance at a time; this package asks its fleet-level question —
+// how much of the ephemeral-memory churn across thousands of concurrent
+// invocations do cold-start fraction and keep-warm policy decide — the
+// scale the vHive snapshot study and Squeezy target.
+package fleet
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"sync"
+
+	"memento/internal/config"
+	"memento/internal/machine"
+	"memento/internal/stats"
+)
+
+// Hosts sizes the simulated host pool.
+type Hosts struct {
+	// Count is the number of hosts.
+	Count int
+	// Cores is the number of core slots per host; each slot runs one
+	// invocation (or, with WithTimeShare, up to perCore co-residents).
+	Cores int
+	// MemPages is each host's memory capacity in 4 KiB pages, shared by
+	// running instances and the warm pool.
+	MemPages uint64
+}
+
+// DefaultHosts is the host pool used when WithHosts is not given:
+// 4 hosts x 2 cores x 64 MiB.
+func DefaultHosts() Hosts {
+	return Hosts{Count: 4, Cores: 2, MemPages: 64 << 20 / config.PageSize}
+}
+
+// Fleet is a configured cluster simulation. Build one with New and
+// functional options, then Run it per stack; a Fleet is reusable and every
+// Run with the same configuration produces the identical Result.
+type Fleet struct {
+	cfg     config.Machine
+	hosts   Hosts
+	arr     Arrivals
+	policy  Policy
+	probe   Probe
+	backend Backend
+	workers int
+	perCore int
+	quantum int
+}
+
+// Option configures a Fleet.
+type Option func(*Fleet)
+
+// WithArrivals selects the invocation arrival trace (see Poisson, Bursty,
+// Diurnal).
+func WithArrivals(a Arrivals) Option { return func(f *Fleet) { f.arr = a } }
+
+// WithHosts sizes the host pool.
+func WithHosts(h Hosts) Option { return func(f *Fleet) { f.hosts = h } }
+
+// WithPolicy selects the placement and keep-warm/eviction policy.
+func WithPolicy(p Policy) Option { return func(f *Fleet) { f.policy = p } }
+
+// WithProbe attaches an observer to every completion, eviction, and
+// aggregate-memory change (nil detaches).
+func WithProbe(p Probe) Option { return func(f *Fleet) { f.probe = p } }
+
+// WithBackend replaces the cost model (nil restores the default
+// machine-backed SimBackend). Tests use StaticBackend for canned costs.
+func WithBackend(b Backend) Option { return func(f *Fleet) { f.backend = b } }
+
+// WithMeasureWorkers bounds the parallel fan-out of the cost-model
+// measurement (<= 0 selects one worker per distinct workload).
+func WithMeasureWorkers(n int) Option { return func(f *Fleet) { f.workers = n } }
+
+// WithTimeShare lets every core slot co-schedule up to perCore
+// invocations, round-robin with the given quantum (trace events), the way
+// machine.Sched time-shares a core. A co-scheduled invocation's service
+// time stretches by the co-residency degree at dispatch plus the
+// context-switch surcharge the backend calibrates through machine.Sched —
+// a first-order model of the §6.6 oversubscription study at fleet scale.
+func WithTimeShare(perCore, quantum int) Option {
+	return func(f *Fleet) {
+		if perCore < 1 {
+			perCore = 1
+		}
+		f.perCore, f.quantum = perCore, quantum
+	}
+}
+
+// New builds a Fleet over the machine configuration with the given
+// options. Defaults: DefaultHosts, Poisson(1000 invocations, mean gap 5M
+// cycles, seed 1) over all workloads, the LRU policy, and the
+// machine-backed cost model.
+func New(cfg config.Machine, opts ...Option) *Fleet {
+	f := &Fleet{
+		cfg:     cfg,
+		hosts:   DefaultHosts(),
+		arr:     Poisson(1000, 5_000_000, 1),
+		policy:  LRU(),
+		perCore: 1,
+	}
+	for _, o := range opts {
+		o(f)
+	}
+	if f.backend == nil {
+		f.backend = NewSimBackend(cfg)
+	}
+	return f
+}
+
+// Probe observes fleet-level events during a Run. All hooks run
+// synchronously on the simulation goroutine; probes observe only and never
+// change the schedule.
+type Probe interface {
+	// Invocation fires at every invocation completion.
+	Invocation(InvocationDone)
+	// Eviction fires when a warm instance is dropped (TTL expiry or
+	// memory pressure).
+	Eviction(Eviction)
+	// MemSample fires whenever the cluster's aggregate resident pages
+	// change.
+	MemSample(now uint64, pages uint64)
+}
+
+// InvocationDone is one completed invocation as seen by a Probe.
+type InvocationDone struct {
+	Invocation
+	// Host ran the invocation.
+	Host int
+	// Start is the dispatch time (Start - Arrival is the queueing delay).
+	Start uint64
+	// End is the completion time (End - Arrival is the reported latency).
+	End uint64
+	// Warm reports whether the invocation consumed a warm instance.
+	Warm bool
+}
+
+// Eviction is one warm-instance drop in the fleet's eviction log.
+type Eviction struct {
+	// Time is when the instance was dropped.
+	Time uint64
+	// Host held the instance.
+	Host int
+	// Workload names the instance's profile.
+	Workload string
+	// Pages is the memory released.
+	Pages uint64
+	// Reason is "ttl" (keep-alive deadline) or "pressure" (evicted to make
+	// room for a cold placement).
+	Reason string
+}
+
+// Result is the outcome of one fleet run.
+type Result struct {
+	// Policy, Stack, and Pattern identify the run.
+	Policy  string
+	Stack   machine.Stack
+	Pattern string
+	Hosts   Hosts
+
+	// Invocations is the number of completed invocations (always the
+	// arrival trace's N on success).
+	Invocations int
+	// ColdStarts and WarmHits partition the invocations by how they were
+	// served.
+	ColdStarts int
+	WarmHits   int
+	// SnapshotRestores counts the warm-start snapshot restores the cost
+	// model performed during this run — the proof that warm pricing routes
+	// through the machine layer's snapshot cache (0 when every cost was
+	// already cached or a static backend is attached).
+	SnapshotRestores uint64
+
+	// P50/P99/P999 are invocation latency percentiles in cycles
+	// (completion minus arrival, queueing included); MeanLatency is the
+	// arithmetic mean. Latencies lists every invocation's latency in
+	// completion order.
+	P50, P99, P999 uint64
+	MeanLatency    float64
+	Latencies      []uint64
+
+	// PeakPages is the high-water mark of aggregate resident pages across
+	// the cluster (running instances plus warm pools); MeanPages is the
+	// time-weighted mean over the run.
+	PeakPages uint64
+	MeanPages float64
+
+	// Evictions is the warm-instance eviction log in event order.
+	Evictions []Eviction
+	// MaxQueue is the deepest the pending queue got.
+	MaxQueue int
+	// Horizon is the completion time of the last invocation.
+	Horizon uint64
+}
+
+// ColdFraction is the share of invocations that paid a cold start.
+func (r *Result) ColdFraction() float64 {
+	if r.Invocations == 0 {
+		return 0
+	}
+	return float64(r.ColdStarts) / float64(r.Invocations)
+}
+
+// PeakBytes is the peak aggregate resident memory in bytes.
+func (r *Result) PeakBytes() uint64 { return r.PeakPages * config.PageSize }
+
+// Cluster is the engine state a Policy observes: host occupancy, free
+// memory, and warm pools. All accessors are read-only views; the engine
+// owns every mutation.
+type Cluster struct {
+	now      uint64
+	cores    int
+	perCore  int
+	memPages uint64
+	hosts    []hostState
+}
+
+type hostState struct {
+	slots   []int // co-residents per core slot
+	running int
+	used    uint64
+	warm    []warmInst
+}
+
+type warmInst struct {
+	uid       int
+	workload  string
+	pages     uint64
+	idleSince uint64
+	expireAt  uint64
+}
+
+// Now is the simulation clock in cycles.
+func (c *Cluster) Now() uint64 { return c.now }
+
+// NumHosts is the host-pool size.
+func (c *Cluster) NumHosts() int { return len(c.hosts) }
+
+// Cores is the number of core slots per host.
+func (c *Cluster) Cores() int { return c.cores }
+
+// MemPages is each host's memory capacity in pages.
+func (c *Cluster) MemPages() uint64 { return c.memPages }
+
+// Running is the number of invocations currently executing on the host.
+func (c *Cluster) Running(h int) int { return c.hosts[h].running }
+
+// FreeSlots is the host's remaining admission capacity: core slots times
+// the time-share degree, minus running invocations.
+func (c *Cluster) FreeSlots(h int) int { return c.cores*c.perCore - c.hosts[h].running }
+
+// FreePages is the host's unclaimed memory in pages.
+func (c *Cluster) FreePages(h int) uint64 { return c.memPages - c.hosts[h].used }
+
+// UsedPages is the host's resident memory in pages (running plus warm).
+func (c *Cluster) UsedPages(h int) uint64 { return c.hosts[h].used }
+
+// WarmCount is the size of the host's warm pool.
+func (c *Cluster) WarmCount(h int) int { return len(c.hosts[h].warm) }
+
+// WarmAt describes one warm instance of the host's pool.
+func (c *Cluster) WarmAt(h, i int) Warm {
+	w := c.hosts[h].warm[i]
+	return Warm{Workload: w.workload, Pages: w.pages, IdleSince: w.idleSince, ExpireAt: w.expireAt}
+}
+
+// event kinds, processed in (time, seq) order.
+const (
+	evArrival = iota
+	evCompletion
+	evExpiry
+)
+
+type event struct {
+	time uint64
+	seq  int
+	kind int
+	inv  Invocation
+	host int
+	slot int
+	uid  int
+	warm bool
+	ded  uint64 // dispatch time (completion events)
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// engine is the per-Run mutable state.
+type engine struct {
+	f       *Fleet
+	stack   machine.Stack
+	c       Cluster
+	costs   map[string]Cost
+	events  eventHeap
+	seq     int
+	pending []Invocation
+	uid     int
+
+	res        *Result
+	lastMemT   uint64
+	pageCycles uint64
+	curPages   uint64
+}
+
+// Run executes the configured arrival trace on the given stack and
+// returns the fleet-level result. The run is fully deterministic: the same
+// Fleet configuration and stack always produce the identical Result,
+// including the eviction log.
+func (f *Fleet) Run(stack machine.Stack) (*Result, error) {
+	if f.hosts.Count <= 0 || f.hosts.Cores <= 0 || f.hosts.MemPages == 0 {
+		return nil, fmt.Errorf("fleet: host pool needs positive count, cores, and memory (got %+v)", f.hosts)
+	}
+	if f.policy == nil {
+		return nil, fmt.Errorf("fleet: nil policy")
+	}
+	invs, err := f.arr.generate()
+	if err != nil {
+		return nil, err
+	}
+	restores0 := f.backend.Restores()
+	costs, err := f.measure(invs, stack)
+	if err != nil {
+		return nil, err
+	}
+	for name, c := range costs {
+		if c.FootprintPages > f.hosts.MemPages {
+			return nil, fmt.Errorf("fleet: workload %s needs %d pages but hosts have %d",
+				name, c.FootprintPages, f.hosts.MemPages)
+		}
+	}
+
+	e := &engine{
+		f:     f,
+		stack: stack,
+		costs: costs,
+		c: Cluster{
+			cores:    f.hosts.Cores,
+			perCore:  f.perCore,
+			memPages: f.hosts.MemPages,
+			hosts:    make([]hostState, f.hosts.Count),
+		},
+		res: &Result{
+			Policy:  f.policy.Name(),
+			Stack:   stack,
+			Pattern: f.arr.Pattern.String(),
+			Hosts:   f.hosts,
+		},
+	}
+	for i := range e.c.hosts {
+		e.c.hosts[i].slots = make([]int, f.hosts.Cores)
+	}
+	for _, inv := range invs {
+		e.push(event{time: inv.Arrival, kind: evArrival, inv: inv})
+	}
+	if err := e.loop(); err != nil {
+		return nil, err
+	}
+	if len(e.pending) > 0 {
+		return nil, fmt.Errorf("fleet: %d invocations unschedulable under policy %s (head: %s needing %d pages)",
+			len(e.pending), f.policy.Name(), e.pending[0].Workload, costs[e.pending[0].Workload].FootprintPages)
+	}
+	e.finishResult()
+	e.res.SnapshotRestores = f.backend.Restores() - restores0
+	return e.res, nil
+}
+
+// measure resolves the cost model for every distinct workload of the
+// arrival trace, fanning measurements out across workers.
+func (f *Fleet) measure(invs []Invocation, stack machine.Stack) (map[string]Cost, error) {
+	distinct := make([]string, 0, 32)
+	seen := make(map[string]bool)
+	for _, inv := range invs {
+		if !seen[inv.Workload] {
+			seen[inv.Workload] = true
+			distinct = append(distinct, inv.Workload)
+		}
+	}
+	workers := f.workers
+	if workers <= 0 || workers > len(distinct) {
+		workers = len(distinct)
+	}
+	costs := make(map[string]Cost, len(distinct))
+	var mu sync.Mutex
+	var firstErr error
+	jobs := make(chan string)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for name := range jobs {
+				var c Cost
+				var err error
+				if f.perCore > 1 {
+					c, err = f.backend.MeasureShared(name, stack, f.quantum)
+				} else {
+					c, err = f.backend.Measure(name, stack)
+				}
+				mu.Lock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+				} else {
+					costs[name] = c
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, name := range distinct {
+		jobs <- name
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return costs, nil
+}
+
+func (e *engine) push(ev event) {
+	ev.seq = e.seq
+	e.seq++
+	heap.Push(&e.events, ev)
+}
+
+// memDelta applies one aggregate-memory change at the current time,
+// folding the elapsed interval into the time-weighted mean.
+func (e *engine) memDelta(delta int64) {
+	e.pageCycles += e.curPages * (e.c.now - e.lastMemT)
+	e.lastMemT = e.c.now
+	e.curPages = uint64(int64(e.curPages) + delta)
+	if e.curPages > e.res.PeakPages {
+		e.res.PeakPages = e.curPages
+	}
+	if e.f.probe != nil {
+		e.f.probe.MemSample(e.c.now, e.curPages)
+	}
+}
+
+func (e *engine) loop() error {
+	heap.Init(&e.events)
+	for e.events.Len() > 0 {
+		ev := heap.Pop(&e.events).(event)
+		e.c.now = ev.time
+		switch ev.kind {
+		case evArrival:
+			placed, err := e.tryPlace(ev.inv)
+			if err != nil {
+				return err
+			}
+			if !placed {
+				e.pending = append(e.pending, ev.inv)
+				if len(e.pending) > e.res.MaxQueue {
+					e.res.MaxQueue = len(e.pending)
+				}
+			}
+		case evCompletion:
+			if err := e.complete(ev); err != nil {
+				return err
+			}
+		case evExpiry:
+			if err := e.expire(ev); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// tryPlace asks the policy for a host and dispatches the invocation if the
+// choice is feasible. Returns false (queue it) when the policy declines or
+// the host lacks a slot or, for a cold placement, memory even after
+// policy-directed evictions.
+func (e *engine) tryPlace(inv Invocation) (bool, error) {
+	h := e.f.policy.Place(&e.c, inv)
+	if h == -1 {
+		return false, nil
+	}
+	if h < -1 || h >= len(e.c.hosts) {
+		return false, fmt.Errorf("fleet: policy %s placed invocation %d on host %d of %d",
+			e.f.policy.Name(), inv.ID, h, len(e.c.hosts))
+	}
+	host := &e.c.hosts[h]
+	if e.c.FreeSlots(h) == 0 {
+		return false, nil
+	}
+	cost := e.costs[inv.Workload]
+
+	// Consume the freshest matching warm instance, if any.
+	warmIdx := -1
+	for i, w := range host.warm {
+		if w.workload != inv.Workload {
+			continue
+		}
+		if warmIdx == -1 || w.idleSince > host.warm[warmIdx].idleSince {
+			warmIdx = i
+		}
+	}
+	warm := warmIdx >= 0
+	if warm {
+		host.warm = append(host.warm[:warmIdx], host.warm[warmIdx+1:]...)
+		// Pages stay resident: the warm instance becomes the running one.
+	} else {
+		for e.c.FreePages(h) < cost.FootprintPages {
+			v := e.f.policy.Victim(&e.c, h)
+			if v == -1 {
+				return false, nil
+			}
+			if v < -1 || v >= len(host.warm) {
+				return false, fmt.Errorf("fleet: policy %s evicted warm index %d of %d on host %d",
+					e.f.policy.Name(), v, len(host.warm), h)
+			}
+			e.evict(h, v, "pressure")
+		}
+		host.used += cost.FootprintPages
+		e.memDelta(int64(cost.FootprintPages))
+	}
+
+	// Dispatch on the least-occupied core slot.
+	slot := 0
+	for i := 1; i < len(host.slots); i++ {
+		if host.slots[i] < host.slots[slot] {
+			slot = i
+		}
+	}
+	host.slots[slot]++
+	host.running++
+	k := host.slots[slot]
+
+	var base uint64
+	if warm {
+		base = cost.WarmLatency()
+		e.res.WarmHits++
+	} else {
+		base = cost.ColdLatency()
+		e.res.ColdStarts++
+	}
+	service := base
+	if k > 1 {
+		// Time-shared core: the run stretches by the co-residency degree at
+		// dispatch and pays the Sched-calibrated context-switch surcharge.
+		service = base*uint64(k) + cost.CtxSwitchCycles
+	}
+	e.push(event{time: e.c.now + service, kind: evCompletion,
+		inv: inv, host: h, slot: slot, warm: warm, ded: e.c.now})
+	return true, nil
+}
+
+// complete retires one invocation, consults the keep-warm policy, and
+// drains the pending queue against the freed capacity.
+func (e *engine) complete(ev event) error {
+	host := &e.c.hosts[ev.host]
+	host.slots[ev.slot]--
+	host.running--
+
+	lat := ev.time - ev.inv.Arrival
+	e.res.Latencies = append(e.res.Latencies, lat)
+	if e.f.probe != nil {
+		e.f.probe.Invocation(InvocationDone{
+			Invocation: ev.inv, Host: ev.host, Start: ev.ded, End: ev.time, Warm: ev.warm,
+		})
+	}
+
+	cost := e.costs[ev.inv.Workload]
+	ttl := e.f.policy.KeepWarmTTL(&e.c, ev.inv)
+	if ttl == 0 {
+		host.used -= cost.FootprintPages
+		e.memDelta(-int64(cost.FootprintPages))
+	} else {
+		w := warmInst{
+			uid: e.uid, workload: ev.inv.Workload, pages: cost.FootprintPages,
+			idleSince: e.c.now, expireAt: NoExpiry,
+		}
+		e.uid++
+		if ttl != NoExpiry {
+			w.expireAt = e.c.now + ttl
+			e.push(event{time: w.expireAt, kind: evExpiry, host: ev.host, uid: w.uid})
+		}
+		host.warm = append(host.warm, w)
+	}
+	return e.drainPending()
+}
+
+// expire drops a warm instance whose keep-alive deadline passed, unless a
+// warm hit already consumed it.
+func (e *engine) expire(ev event) error {
+	host := &e.c.hosts[ev.host]
+	for i, w := range host.warm {
+		if w.uid == ev.uid {
+			e.evict(ev.host, i, "ttl")
+			return e.drainPending()
+		}
+	}
+	return nil
+}
+
+// drainPending replays the FIFO queue head-first against freed capacity.
+func (e *engine) drainPending() error {
+	for len(e.pending) > 0 {
+		placed, err := e.tryPlace(e.pending[0])
+		if err != nil {
+			return err
+		}
+		if !placed {
+			return nil
+		}
+		e.pending = e.pending[1:]
+	}
+	return nil
+}
+
+// evict removes warm instance i from host h and logs it.
+func (e *engine) evict(h, i int, reason string) {
+	host := &e.c.hosts[h]
+	w := host.warm[i]
+	host.warm = append(host.warm[:i], host.warm[i+1:]...)
+	host.used -= w.pages
+	e.memDelta(-int64(w.pages))
+	evn := Eviction{Time: e.c.now, Host: h, Workload: w.workload, Pages: w.pages, Reason: reason}
+	e.res.Evictions = append(e.res.Evictions, evn)
+	if e.f.probe != nil {
+		e.f.probe.Eviction(evn)
+	}
+}
+
+// finishResult folds the raw samples into the reported aggregates.
+func (e *engine) finishResult() {
+	r := e.res
+	r.Invocations = len(r.Latencies)
+	r.Horizon = e.c.now
+	e.pageCycles += e.curPages * (e.c.now - e.lastMemT)
+	if e.c.now > 0 {
+		r.MeanPages = float64(e.pageCycles) / float64(e.c.now)
+	}
+	sorted := make([]uint64, len(r.Latencies))
+	copy(sorted, r.Latencies)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	r.P50 = stats.PercentileUint64(sorted, 0.50)
+	r.P99 = stats.PercentileUint64(sorted, 0.99)
+	r.P999 = stats.PercentileUint64(sorted, 0.999)
+	var sum uint64
+	for _, l := range sorted {
+		sum += l
+	}
+	if len(sorted) > 0 {
+		r.MeanLatency = float64(sum) / float64(len(sorted))
+	}
+}

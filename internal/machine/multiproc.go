@@ -1,9 +1,6 @@
 package machine
 
 import (
-	"errors"
-
-	"memento/internal/simerr"
 	"memento/internal/trace"
 )
 
@@ -15,94 +12,19 @@ import (
 // stack, the HOT. A process that finishes stops being scheduled and accrues
 // no further context switches.
 //
-// Unlike Machine.Run, each Result's component counters (DRAM, Hier, TLB,
-// Kernel) are the *per-process deltas* of the machine-global counters,
-// measured around that process's setup, quanta, and teardown — so the
-// results attribute hardware and kernel activity to the process that caused
-// it, and the per-process stats sum to the machine totals.
-//
-// A process that fails mid-run is torn down (its frames reclaimed, the
-// TLBs flushed) without disturbing its siblings, which keep running to
-// completion. Its Result carries the partial cycle attribution with Err set
-// to the typed, annotated failure; the joined error of every failed process
-// is also returned alongside the full result slice. A failure while
-// *constructing* a process is returned immediately, with all
-// already-constructed siblings destroyed.
+// RunMultiProcess is a convenience wrapper over the general Sched execution
+// backend (NewSched/Spawn/Run), which the fleet simulator also drives; see
+// Sched.Run for the per-process delta accounting and failure-isolation
+// contract the returned Results follow. A failure while *constructing* a
+// process is returned immediately, with all already-constructed siblings
+// destroyed.
 func (m *Machine) RunMultiProcess(traces []*trace.Trace, opt Options, quantum int) ([]Result, error) {
-	if quantum <= 0 {
-		quantum = 2000
-	}
-	procs := make([]*process, len(traces))
-	for i, tr := range traces {
-		snap := m.compSnapshot()
-		p, err := m.newProcess(tr, opt)
-		if err != nil {
-			for _, q := range procs[:i] {
-				q.destroy()
-				q.release()
-			}
-			return nil, simerr.WithRun(err, tr.Name, opt.Stack.String(), -1)
-		}
-		p.compDelta = true
-		p.comp = p.comp.add(m.compSnapshot().sub(snap))
-		procs[i] = p
-	}
-	errs := make([]error, len(procs))
-	for {
-		progress := false
-		for i, p := range procs {
-			if errs[i] != nil {
-				continue
-			}
-			if p.done() {
-				if !p.finished {
-					snap := m.compSnapshot()
-					if err := p.finish(); err != nil {
-						errs[i] = simerr.WithRun(err, p.tr.Name, opt.Stack.String(), p.pc)
-						p.destroy()
-					}
-					p.comp = p.comp.add(m.compSnapshot().sub(snap))
-				}
-				continue
-			}
-			progress = true
-			snap := m.compSnapshot()
-			var stepErr error
-			event := -1
-			for j := 0; j < quantum && !p.done(); j++ {
-				if err := p.step(); err != nil {
-					stepErr, event = err, p.pc-1
-					break
-				}
-			}
-			if stepErr == nil && p.done() {
-				if err := p.finish(); err != nil {
-					stepErr, event = err, p.pc
-				}
-			}
-			if stepErr == nil {
-				p.b.CtxSwitch += p.contextSwitch()
-			} else {
-				// Isolate the failure: reclaim this process's frames and
-				// flush its translations so the siblings continue against an
-				// uncorrupted machine. The teardown happens inside this
-				// process's snapshot window so its counter movements stay
-				// attributed to the process that caused them.
-				errs[i] = simerr.WithRun(stepErr, p.tr.Name, opt.Stack.String(), event)
-				p.destroy()
-			}
-			p.comp = p.comp.add(m.compSnapshot().sub(snap))
-		}
-		if !progress {
-			break
+	s := m.NewSched(opt, quantum)
+	for _, tr := range traces {
+		if err := s.Spawn(tr); err != nil {
+			s.Close()
+			return nil, err
 		}
 	}
-	results := make([]Result, len(procs))
-	for i, p := range procs {
-		results[i] = p.result()
-		results[i].Err = errs[i]
-		p.destroy()
-		p.release()
-	}
-	return results, errors.Join(errs...)
+	return s.Run()
 }

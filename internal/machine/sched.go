@@ -1,0 +1,147 @@
+package machine
+
+import (
+	"errors"
+
+	"memento/internal/simerr"
+	"memento/internal/trace"
+)
+
+// Sched is the multi-process execution backend: it time-shares one
+// simulated core among any number of processes in round-robin quanta, with
+// a context switch (TLB flush, and on the Memento stack a HOT flush) at
+// the end of every quantum. It is the engine behind RunMultiProcess and
+// the calibration backend of the fleet simulator (internal/fleet), which
+// uses it to measure the co-residency surcharge oversubscribed hosts pay.
+//
+// Usage: NewSched, Spawn each trace, then Run once. A Sched is single-use;
+// after Run returns it holds no live processes.
+type Sched struct {
+	m       *Machine
+	opt     Options
+	quantum int
+	procs   []*process
+	ran     bool
+}
+
+// NewSched prepares a scheduler over the machine. A quantum <= 0 selects
+// the default of 2000 trace events.
+func (m *Machine) NewSched(opt Options, quantum int) *Sched {
+	if quantum <= 0 {
+		quantum = 2000
+	}
+	return &Sched{m: m, opt: opt, quantum: quantum}
+}
+
+// Quantum returns the scheduler's quantum in trace events.
+func (s *Sched) Quantum() int { return s.quantum }
+
+// Procs returns the number of spawned processes.
+func (s *Sched) Procs() int { return len(s.procs) }
+
+// Spawn constructs one process (address space, allocator or Memento unit,
+// runtime setup) for the trace and adds it to the schedule. The setup's
+// component-counter movements are attributed to the new process, so the
+// per-process deltas Run reports sum exactly to the machine totals. On
+// error the process is not added; already-spawned siblings stay live until
+// Run or Close.
+func (s *Sched) Spawn(tr *trace.Trace) error {
+	snap := s.m.compSnapshot()
+	p, err := s.m.newProcess(tr, s.opt)
+	if err != nil {
+		return simerr.WithRun(err, tr.Name, s.opt.Stack.String(), -1)
+	}
+	p.compDelta = true
+	p.comp = p.comp.add(s.m.compSnapshot().sub(snap))
+	s.procs = append(s.procs, p)
+	return nil
+}
+
+// Close tears down every spawned process without running it. It is the
+// error-path cleanup for callers that fail between Spawn and Run; calling
+// it after Run is a no-op.
+func (s *Sched) Close() {
+	if s.ran {
+		return
+	}
+	for _, p := range s.procs {
+		p.destroy()
+		p.release()
+	}
+	s.procs = nil
+}
+
+// Run time-shares the core among the spawned processes until all have
+// finished, and returns one Result per process in Spawn order. Each
+// Result's component counters (DRAM, Hier, TLB, Kernel) are the
+// *per-process deltas* of the machine-global counters, measured around
+// that process's setup, quanta, and teardown. A process that fails mid-run
+// is torn down without disturbing its siblings; its Result carries the
+// partial cycle attribution with Err set, and the joined error of every
+// failed process is returned alongside the full result slice.
+func (s *Sched) Run() ([]Result, error) {
+	if s.ran {
+		return nil, errors.New("machine: Sched.Run called twice")
+	}
+	s.ran = true
+	procs := s.procs
+	errs := make([]error, len(procs))
+	for {
+		progress := false
+		for i, p := range procs {
+			if errs[i] != nil {
+				continue
+			}
+			if p.done() {
+				if !p.finished {
+					snap := s.m.compSnapshot()
+					if err := p.finish(); err != nil {
+						errs[i] = simerr.WithRun(err, p.tr.Name, s.opt.Stack.String(), p.pc)
+						p.destroy()
+					}
+					p.comp = p.comp.add(s.m.compSnapshot().sub(snap))
+				}
+				continue
+			}
+			progress = true
+			snap := s.m.compSnapshot()
+			var stepErr error
+			event := -1
+			for j := 0; j < s.quantum && !p.done(); j++ {
+				if err := p.step(); err != nil {
+					stepErr, event = err, p.pc-1
+					break
+				}
+			}
+			if stepErr == nil && p.done() {
+				if err := p.finish(); err != nil {
+					stepErr, event = err, p.pc
+				}
+			}
+			if stepErr == nil {
+				p.b.CtxSwitch += p.contextSwitch()
+			} else {
+				// Isolate the failure: reclaim this process's frames and
+				// flush its translations so the siblings continue against an
+				// uncorrupted machine. The teardown happens inside this
+				// process's snapshot window so its counter movements stay
+				// attributed to the process that caused them.
+				errs[i] = simerr.WithRun(stepErr, p.tr.Name, s.opt.Stack.String(), event)
+				p.destroy()
+			}
+			p.comp = p.comp.add(s.m.compSnapshot().sub(snap))
+		}
+		if !progress {
+			break
+		}
+	}
+	results := make([]Result, len(procs))
+	for i, p := range procs {
+		results[i] = p.result()
+		results[i].Err = errs[i]
+		p.destroy()
+		p.release()
+	}
+	s.procs = nil
+	return results, errors.Join(errs...)
+}

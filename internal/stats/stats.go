@@ -225,6 +225,26 @@ func GeoMean(vs []float64) float64 {
 	return math.Exp(logSum / float64(n))
 }
 
+// PercentileUint64 returns the q-quantile (0 < q <= 1) of the samples by
+// the nearest-rank method. The input must be sorted ascending; the result
+// is always one of the samples. Returns 0 for an empty input.
+func PercentileUint64(sorted []uint64, q float64) uint64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	rank := int(math.Ceil(q * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
 // Mean returns the arithmetic mean (0 for empty input).
 func Mean(vs []float64) float64 {
 	if len(vs) == 0 {

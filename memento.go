@@ -27,6 +27,7 @@ package memento
 
 import (
 	"fmt"
+	"io"
 
 	"memento/internal/config"
 	"memento/internal/experiments"
@@ -84,30 +85,6 @@ func GenerateTrace(name string) (*Trace, error) {
 	return workload.Generate(p), nil
 }
 
-// Run executes one named workload on one stack.
-//
-// Deprecated: use NewRunner with functional options, e.g.
-// NewRunner(cfg, WithStack(s)).Run(name). This wrapper returns results
-// identical to the Runner path.
-func Run(cfg Config, name string, opt Options) (Result, error) {
-	return (&Runner{cfg: cfg, opt: opt}).Run(name)
-}
-
-// RunTrace executes an arbitrary trace on one stack.
-//
-// Deprecated: use NewRunner(cfg, ...).RunTrace(tr).
-func RunTrace(cfg Config, tr *Trace, opt Options) (Result, error) {
-	return (&Runner{cfg: cfg, opt: opt}).RunTrace(tr)
-}
-
-// Compare runs a named workload on both stacks with identical
-// configuration.
-//
-// Deprecated: use NewRunner(cfg, ...).Compare(name).
-func Compare(cfg Config, name string, opt Options) (base, mem Result, err error) {
-	return (&Runner{cfg: cfg, opt: opt}).Compare(name)
-}
-
 // Speedup returns base cycles / memento cycles.
 func Speedup(base, mem Result) float64 { return machine.Speedup(base, mem) }
 
@@ -138,14 +115,23 @@ func RunAllExperiments(cfg Config) ([]Experiment, error) {
 	return experiments.All(cfg)
 }
 
+// SuiteOption configures a Suite the way RunOption configures a Runner.
+type SuiteOption = experiments.SuiteOption
+
+// WithWorkers bounds the experiment sweep's parallel fan-out (zero or
+// negative selects runtime.GOMAXPROCS(0)).
+func WithWorkers(n int) SuiteOption { return experiments.WithWorkers(n) }
+
+// WithWarm makes Suite.All append the warm-start study after the paper's
+// tables and figures.
+func WithWarm() SuiteOption { return experiments.WithWarm() }
+
+// WithExport makes Suite.All also write the experiments in their stable
+// JSON wire form to w on success (nil detaches).
+func WithExport(w io.Writer) SuiteOption { return experiments.WithExport(w) }
+
 // NewSuite exposes the cached experiment runner for callers that want to
 // regenerate individual figures without repeating the workload sweep.
-func NewSuite(cfg Config) *experiments.Suite { return experiments.NewSuite(cfg) }
-
-// RunMultiProcess time-shares one core among several traces (the §6.6
-// multi-process study).
-//
-// Deprecated: use NewRunner(cfg, ...).RunMultiProcess(traces, quantum).
-func RunMultiProcess(cfg Config, traces []*Trace, opt Options, quantumEvents int) ([]Result, error) {
-	return (&Runner{cfg: cfg, opt: opt}).RunMultiProcess(traces, quantumEvents)
+func NewSuite(cfg Config, opts ...SuiteOption) *experiments.Suite {
+	return experiments.NewSuite(cfg, opts...)
 }

@@ -1,54 +1,80 @@
 #!/usr/bin/env sh
-# Runs the full-sweep benchmark (the 23-workload x 3-stack simulation behind
-# Table 2 and Figs 8-14) and writes the timings to BENCH_sweep.json.
+# Runs the repo's headline benchmarks — the full-sweep simulation behind
+# Table 2 and Figs 8-14 (BenchmarkSweep) and the cluster-scale scheduler
+# (BenchmarkFleet) — and writes the timings to BENCH_sweep.json.
 #
 # Usage: scripts/bench_sweep.sh [count]
 #   count  benchmark repetitions (default 3)
 #
 # Environment:
 #   COUNT      repetitions (overridden by the positional arg)
-#   BENCH      benchmark regex to run (default ^BenchmarkSweep$)
+#   BENCH      benchmark regex to run (default ^(BenchmarkSweep|BenchmarkFleet)$)
 #   BENCH_OUT  output file (default BENCH_sweep.json)
 #
-# When the output file already exists, its mean is carried into the new
-# file's delta_vs_previous field ((new-old)/old; negative = faster).
+# When the output file already exists, each benchmark's previous mean is
+# carried into the new file's delta_vs_previous field ((new-old)/old;
+# negative = faster). Files from the old single-benchmark format are read
+# the same way.
 set -eu
 
 cd "$(dirname "$0")/.."
 COUNT="${1:-${COUNT:-3}}"
-BENCH="${BENCH:-^BenchmarkSweep$}"
+BENCH="${BENCH:-^(BenchmarkSweep|BenchmarkFleet)\$}"
 OUT="${BENCH_OUT:-BENCH_sweep.json}"
 RAW="$(mktemp)"
-trap 'rm -f "$RAW"' EXIT
+PREV="$(mktemp)"
+trap 'rm -f "$RAW" "$PREV"' EXIT
 
-PREV_MEAN=""
+# Previous means, one "name mean" pair per line (works for both the current
+# {"benchmarks": [...]} layout and the old single-object layout).
 if [ -f "$OUT" ]; then
-  PREV_MEAN="$(sed -n 's/.*"mean_ns_per_op": \([0-9]*\).*/\1/p' "$OUT" | head -n1)"
+  awk -F'"' '
+    /"benchmark":/ { b = $4 }
+    /"mean_ns_per_op":/ { line = $0; gsub(/[^0-9]/, "", line); if (b != "") print b, line }
+  ' "$OUT" > "$PREV"
 fi
 
 go test -bench="$BENCH" -benchtime=1x -run='^$' -count="$COUNT" . | tee "$RAW"
 
-NAME="$(printf '%s' "$BENCH" | sed 's/^\^//; s/\$$//')"
-awk -v count="$COUNT" -v bench="$NAME" -v prev="$PREV_MEAN" '
-  /^Benchmark/ { ns[n++] = $3 }
+awk -v prevfile="$PREV" '
+  BEGIN {
+    while ((getline line < prevfile) > 0) {
+      split(line, f, " ")
+      prevmean[f[1]] = f[2]
+    }
+  }
+  /^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    if (!(name in seen)) { seen[name] = 1; order[++m] = name }
+    ns[name, cnt[name]++] = $3
+  }
   /^cpu:/ { sub(/^cpu: /, ""); cpu = $0 }
   END {
-    if (n == 0) { print "bench_sweep: no benchmark results" > "/dev/stderr"; exit 1 }
-    sum = 0
-    for (i = 0; i < n; i++) sum += ns[i]
-    mean = sum / n
+    if (m == 0) { print "bench_sweep: no benchmark results" > "/dev/stderr"; exit 1 }
     printf "{\n"
-    printf "  \"benchmark\": \"%s\",\n", bench
     printf "  \"cpu\": \"%s\",\n", cpu
-    printf "  \"count\": %d,\n", n
-    printf "  \"ns_per_op\": ["
-    for (i = 0; i < n; i++) printf "%s%s", ns[i], (i < n-1 ? ", " : "")
-    printf "],\n"
-    printf "  \"mean_ns_per_op\": %.0f,\n", mean
-    if (prev != "") {
-      printf "  \"delta_vs_previous\": %.4f,\n", (mean - prev) / prev
+    printf "  \"benchmarks\": [\n"
+    for (j = 1; j <= m; j++) {
+      name = order[j]
+      n = cnt[name]
+      sum = 0
+      for (i = 0; i < n; i++) sum += ns[name, i]
+      mean = sum / n
+      printf "    {\n"
+      printf "      \"benchmark\": \"%s\",\n", name
+      printf "      \"count\": %d,\n", n
+      printf "      \"ns_per_op\": ["
+      for (i = 0; i < n; i++) printf "%s%s", ns[name, i], (i < n-1 ? ", " : "")
+      printf "],\n"
+      printf "      \"mean_ns_per_op\": %.0f,\n", mean
+      if (name in prevmean && prevmean[name] > 0) {
+        printf "      \"delta_vs_previous\": %.4f,\n", (mean - prevmean[name]) / prevmean[name]
+      }
+      printf "      \"mean_seconds\": %.3f\n", mean / 1e9
+      printf "    }%s\n", (j < m ? "," : "")
     }
-    printf "  \"mean_seconds\": %.3f\n", mean / 1e9
+    printf "  ]\n"
     printf "}\n"
   }
 ' "$RAW" > "$OUT"
