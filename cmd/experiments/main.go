@@ -39,6 +39,10 @@ func main() {
 		var e memento.Experiment
 		e, err = memento.WarmStartsExperiment(s)
 		exps = []memento.Experiment{e}
+		if err == nil {
+			e, err = memento.WarmBytesExperiment(s)
+			exps = append(exps, e)
+		}
 	case *fleetStudy:
 		var e memento.Experiment
 		e, err = memento.FleetExperiment(s)

@@ -53,7 +53,11 @@ func TestExperimentsWarmGolden(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	diffGolden(t, "experiments_warm_output.txt", []experiments.Experiment{e})
+	eb, err := experiments.WarmBytes(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffGolden(t, "experiments_warm_output.txt", []experiments.Experiment{e, eb})
 }
 
 // TestExperimentsFleetGolden pins the fleet simulation study byte for

@@ -54,6 +54,20 @@ type Cache struct {
 	memoOK   bool
 	// Stats
 	hits, misses uint64
+	// Delta-snapshot state: base is the snapshot this cache's content was
+	// last captured to or restored from, dirty is a per-set bitmap of sets
+	// mutated since then, and clean reports no mutation at all (the dirty
+	// bitmap alone cannot: a Lookup miss bumps the miss counter without
+	// touching any set). See snapshot.go.
+	base  *Snapshot
+	clean bool
+	dirty []uint64
+}
+
+// markDirty records that set's content diverged from the base snapshot.
+func (c *Cache) markDirty(set uint64) {
+	c.dirty[set>>6] |= 1 << (set & 63)
+	c.clean = false
 }
 
 // NewCache builds a cache level from its configuration.
@@ -69,6 +83,7 @@ func NewCache(cfg config.CacheConfig) *Cache {
 		mru:     make([]int32, n),
 		setMask: uint64(n - 1),
 		shift:   uint(config.Log2(n)),
+		dirty:   make([]uint64, (n+63)/64),
 	}
 }
 
@@ -90,6 +105,9 @@ func (c *Cache) Lookup(lineAddr uint64, write bool) bool {
 	ways := c.setOf(set)
 	want := tag | validBit
 	c.memoOK = false
+	// Every Lookup mutates either the hit or the miss counter, so the cache
+	// diverges from its base snapshot even when no set content changes.
+	c.clean = false
 	// MRU fast path: skip the way scan when the last-used way hits again.
 	if w := &ways[c.mru[set]]; w.tagw&^dirtyBit == want {
 		c.tick++
@@ -98,6 +116,7 @@ func (c *Cache) Lookup(lineAddr uint64, write bool) bool {
 			w.tagw |= dirtyBit
 		}
 		c.hits++
+		c.dirty[set>>6] |= 1 << (set & 63)
 		return true
 	}
 	// Miss scans track the victim Insert would pick (first invalid way, else
@@ -114,6 +133,7 @@ func (c *Cache) Lookup(lineAddr uint64, write bool) bool {
 			}
 			c.hits++
 			c.mru[set] = int32(i)
+			c.dirty[set>>6] |= 1 << (set & 63)
 			return true
 		}
 		if w.tagw&validBit == 0 {
@@ -153,6 +173,7 @@ func (c *Cache) Insert(lineAddr uint64, dirty bool) (victim uint64, victimDirty,
 	set, tag := c.indexTag(lineAddr)
 	ways := c.setOf(set)
 	c.tick++
+	c.markDirty(set)
 	want := tag | validBit
 	// Fill-memo fast path: the immediately preceding Lookup missed this very
 	// line and already picked the victim way; nothing has mutated since.
@@ -226,6 +247,7 @@ func (c *Cache) Invalidate(lineAddr uint64) (wasDirty, wasPresent bool) {
 		if ways[i].tagw&^dirtyBit == want {
 			d := ways[i].tagw&dirtyBit != 0
 			ways[i] = line{}
+			c.markDirty(set)
 			return d, true
 		}
 	}
@@ -315,6 +337,9 @@ type Hierarchy struct {
 
 	l1Lat, l2Lat, llcLat uint64
 	stats                Stats
+	// base is the hierarchy-level snapshot handle reused while no level
+	// changes (see snapshot.go).
+	base *HierarchySnapshot
 	// probe, when non-nil, observes bypass fills and writebacks. probed
 	// caches the attachment state so the access paths test one byte instead
 	// of an interface against nil.

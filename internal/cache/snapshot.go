@@ -1,9 +1,25 @@
 package cache
 
-// Snapshot is a compact deep copy of one cache level's mutable state: the
+import "math/bits"
+
+// Sizes used for byte accounting, fixed by the packed layouts above.
+const (
+	lineBytes = 16 // sizeof(line): tagw + lru
+	mruBytes  = 4  // sizeof(int32)
+	// scalarBytes covers tick, hits, misses.
+	scalarBytes = 3 * 8
+)
+
+// Snapshot is an immutable capture of one cache level's mutable state: the
 // packed line array, the per-set MRU hints, the LRU tick, and the counters.
 // Geometry is immutable configuration and is not captured; a Snapshot may
 // only be restored into a Cache built from the same CacheConfig.
+//
+// Snapshots are delta-aware: the cache remembers the snapshot it was last
+// captured to or restored from (its base) plus a per-set dirty bitmap, so
+// re-Snapshot of an unchanged cache returns the same handle (O(1)) and
+// Restore of the base copies back only dirtied sets. Restoring a foreign
+// snapshot falls back to a full copy and rebases onto it.
 //
 // The one-shot fill memo is deliberately NOT captured: it is only valid
 // between a Lookup miss and the Insert that services it, and a snapshot is
@@ -15,53 +31,121 @@ type Snapshot struct {
 	hits, misses uint64
 }
 
+// Bytes returns the full size of the captured state in bytes — the cost of
+// one deep restore, and the denominator for delta-restore savings.
+func (s *Snapshot) Bytes() uint64 {
+	return uint64(len(s.lines))*lineBytes + uint64(len(s.mru))*mruBytes + scalarBytes
+}
+
+// rebase marks the live cache as bit-identical to s.
+func (c *Cache) rebase(s *Snapshot) {
+	c.base = s
+	c.clean = true
+	for i := range c.dirty {
+		c.dirty[i] = 0
+	}
+}
+
 // Snapshot captures the level's mutable state. The returned value is
-// immutable and may be restored any number of times.
+// immutable and may be restored any number of times. If nothing mutated
+// since the last capture or restore, the existing base snapshot is returned
+// unchanged — an O(1) handle reuse with no copying.
 func (c *Cache) Snapshot() *Snapshot {
-	return &Snapshot{
+	if c.clean && c.base != nil {
+		return c.base
+	}
+	s := &Snapshot{
 		lines:  append([]line(nil), c.lines...),
 		mru:    append([]int32(nil), c.mru...),
 		tick:   c.tick,
 		hits:   c.hits,
 		misses: c.misses,
 	}
+	c.rebase(s)
+	return s
 }
 
 // Restore replaces the level's state with a copy of s and invalidates the
-// fill memo.
-func (c *Cache) Restore(s *Snapshot) {
+// fill memo. When s is the cache's base snapshot only the sets dirtied since
+// the base was established are copied back (zero work, zero allocation for a
+// clean cache); any other snapshot is a full copy-in that rebases the cache
+// onto it. Returns the number of bytes copied.
+func (c *Cache) Restore(s *Snapshot) uint64 {
+	c.memoOK = false
+	if s == c.base {
+		if c.clean {
+			return 0
+		}
+		var copied uint64
+		setBytes := uint64(c.ways)*lineBytes + mruBytes
+		for wi, word := range c.dirty {
+			for word != 0 {
+				set := uint64(wi)<<6 + uint64(bits.TrailingZeros64(word))
+				word &= word - 1
+				base := int(set) * c.ways
+				copy(c.lines[base:base+c.ways], s.lines[base:base+c.ways])
+				c.mru[set] = s.mru[set]
+				copied += setBytes
+			}
+			c.dirty[wi] = 0
+		}
+		c.tick = s.tick
+		c.hits = s.hits
+		c.misses = s.misses
+		c.clean = true
+		return copied + scalarBytes
+	}
 	c.lines = append(c.lines[:0], s.lines...)
 	c.mru = append(c.mru[:0], s.mru...)
 	c.tick = s.tick
 	c.hits = s.hits
 	c.misses = s.misses
-	c.memoOK = false
+	c.rebase(s)
+	return s.Bytes()
 }
 
-// HierarchySnapshot is a deep copy of the three cache levels plus the
-// hierarchy counters. The DRAM model below the LLC is snapshotted
-// separately (it is shared machine state, not hierarchy state).
+// HierarchySnapshot captures the three cache levels plus the hierarchy
+// counters. The DRAM model below the LLC is snapshotted separately (it is
+// shared machine state, not hierarchy state).
 type HierarchySnapshot struct {
 	l1d, l2, llc *Snapshot
 	stats        Stats
 }
 
-// Snapshot captures all three levels and the hierarchy statistics.
-func (h *Hierarchy) Snapshot() *HierarchySnapshot {
-	return &HierarchySnapshot{
-		l1d:   h.L1D.Snapshot(),
-		l2:    h.L2.Snapshot(),
-		llc:   h.LLC.Snapshot(),
-		stats: h.stats,
-	}
+// Bytes returns the full captured size across all three levels.
+func (s *HierarchySnapshot) Bytes() uint64 {
+	return s.l1d.Bytes() + s.l2.Bytes() + s.llc.Bytes() + statsBytes
 }
 
-// Restore replaces the hierarchy's state with a copy of s. The probe
-// attachment is preserved; its cached flag is re-derived.
-func (h *Hierarchy) Restore(s *HierarchySnapshot) {
-	h.L1D.Restore(s.l1d)
-	h.L2.Restore(s.l2)
-	h.LLC.Restore(s.llc)
+// statsBytes is the wire size of the Stats struct (9 uint64 counters).
+const statsBytes = 9 * 8
+
+// Snapshot captures all three levels and the hierarchy statistics. When no
+// level changed since the previous capture the previous handle is returned.
+func (h *Hierarchy) Snapshot() *HierarchySnapshot {
+	l1d, l2, llc := h.L1D.Snapshot(), h.L2.Snapshot(), h.LLC.Snapshot()
+	if b := h.base; b != nil && b.l1d == l1d && b.l2 == l2 && b.llc == llc && b.stats == h.stats {
+		return b
+	}
+	s := &HierarchySnapshot{l1d: l1d, l2: l2, llc: llc, stats: h.stats}
+	h.base = s
+	return s
+}
+
+// Restore replaces the hierarchy's state with that of s, copying only what
+// diverged from each level's base snapshot. The probe attachment is
+// preserved; its cached flag is re-derived. Returns the bytes copied —
+// zero when the hierarchy is already exactly in state s.
+func (h *Hierarchy) Restore(s *HierarchySnapshot) uint64 {
+	clean := s == h.base && h.stats == s.stats
+	copied := h.L1D.Restore(s.l1d)
+	copied += h.L2.Restore(s.l2)
+	copied += h.LLC.Restore(s.llc)
 	h.stats = s.stats
+	h.base = s
 	h.probed = h.probe != nil
+	if clean && copied == 0 {
+		return 0
+	}
+	return copied + statsBytes
 }

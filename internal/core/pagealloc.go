@@ -75,14 +75,60 @@ type PageAllocStats struct {
 // mptNode is one node of the hardware-built Memento page table. The table
 // pages come from the physical page pool, so walks touch real simulated
 // addresses.
+//
+// shared marks a node captured into a PageAllocSnapshot: it is frozen and
+// may be aliased by any number of snapshots and live allocators. Mutators
+// clone a shared node (and the path above it) before writing —
+// copy-on-write path copying. A shared node's descendants are always shared
+// (the capture walk marks whole subtrees, and a mutator never links a
+// private child under a shared parent), so one flag check per level
+// suffices.
 type mptNode struct {
 	pfn      uint64
 	children []*mptNode
 	pte      []uint64 // leaf: pfn+1, 0 = invalid
+	shared   bool
 }
 
 const mptLevels = 4
 const mptFanout = 512
+
+// cloneMPTShallow returns a private copy of n: same pfn and entries, child
+// pointers still aliasing the (shared) originals.
+func cloneMPTShallow(n *mptNode) *mptNode {
+	c := &mptNode{pfn: n.pfn}
+	if n.children != nil {
+		c.children = append([]*mptNode(nil), n.children...)
+	}
+	if n.pte != nil {
+		c.pte = append([]uint64(nil), n.pte...)
+	}
+	return c
+}
+
+// markSharedMPT freezes a subtree for snapshot aliasing, pruning at
+// already-shared (immutable) nodes.
+func markSharedMPT(n *mptNode) {
+	if n == nil || n.shared {
+		return
+	}
+	n.shared = true
+	for _, c := range n.children {
+		markSharedMPT(c)
+	}
+}
+
+// countMPTBytes returns the simulated size of a subtree: one page per node.
+func countMPTBytes(n *mptNode) uint64 {
+	if n == nil {
+		return 0
+	}
+	b := uint64(config.PageSize)
+	for _, c := range n.children {
+		b += countMPTBytes(c)
+	}
+	return b
+}
 
 // PageAllocator is Memento's hardware page allocator (Section 3.2). It
 // lives at the memory controller and (i) allocates arena virtual addresses
@@ -120,6 +166,11 @@ type PageAllocator struct {
 	// poolPops counts pop attempts for its trigger.
 	allocHook AllocHook
 	poolPops  uint64
+	// Delta-snapshot state: base is the snapshot this allocator was last
+	// captured to or restored from; mutated is set by every state-changing
+	// entry point so an unchanged re-Snapshot is an O(1) handle reuse.
+	base    *PageAllocSnapshot
+	mutated bool
 }
 
 // SetAllocHook attaches a fault-injection hook to the pool (nil detaches).
@@ -167,6 +218,7 @@ func NewPageAllocator(cfg config.Machine, layout *Layout, mem Mem, k *kernel.Ker
 // simerr.ErrOutOfMemory (and simerr.ErrFaultInjected when a kernel-side
 // hook vetoed the refill).
 func (p *PageAllocator) refillPool(n int) error {
+	p.mutated = true
 	frames, cycles, err := p.k.AllocPoolPages(n)
 	p.pool = append(p.pool, frames...)
 	p.stats.BackgroundCycles += cycles
@@ -226,6 +278,7 @@ func (p *PageAllocator) pointerBlockPA(c int) uint64 {
 // class's VA pointer, eagerly back the first page (which holds the header),
 // and return the arena image. Returns the critical-path cycle cost.
 func (p *PageAllocator) AllocArena(c int) (*Arena, uint64, error) {
+	p.mutated = true
 	cycles := p.cfg.Cost.MementoArenaRequestCycles // object alloc -> controller round trip
 	cycles += p.aacLookup(c)
 
@@ -291,6 +344,8 @@ func (p *PageAllocator) installMapping(vpn, frame uint64) (uint64, error) {
 			return cycles, err
 		}
 		p.root = n
+	} else if p.root.shared {
+		p.root = cloneMPTShallow(p.root)
 	}
 	node := p.root
 	for level := mptLevels - 1; level >= 1; level-- {
@@ -303,6 +358,11 @@ func (p *PageAllocator) installMapping(vpn, frame uint64) (uint64, error) {
 			}
 			cycles += p.mem.Access(node.pfn<<config.PageShift+idx*8, true)
 			node.children[idx] = n
+		} else if node.children[idx].shared {
+			// Copy-on-write: privatize the path before the PTE write below.
+			// Host-side bookkeeping only — the simulated frame is unchanged,
+			// so no cycles are charged.
+			node.children[idx] = cloneMPTShallow(node.children[idx])
 		}
 		node = node.children[idx]
 	}
@@ -324,6 +384,7 @@ func (p *PageAllocator) Walk(vpn uint64) (pfn uint64, cycles uint64, err error) 
 	if !p.layout.Contains(va) {
 		return 0, 0, simerr.WrapVA(simerr.ErrSegfault, "memento-walk", va)
 	}
+	p.mutated = true
 	p.stats.Walks++
 	p.shootdownVec |= 1 // single-core default: core 0 has walked
 	// The walk must stay within allocated arena VAs: addresses beyond the
@@ -387,6 +448,7 @@ func (p *PageAllocator) lookup(vpn uint64) (pfn uint64, cycles uint64, ok bool) 
 // table, return backing pages to the pool, invalidate PTEs, and issue TLB
 // shootdowns to cores recorded in the shootdown vector.
 func (p *PageAllocator) FreeArena(a *Arena) uint64 {
+	p.mutated = true
 	var cycles uint64
 	startVPN := a.BaseVA >> config.PageShift
 	pages := p.layout.ArenaPages(a.Class)
@@ -428,14 +490,38 @@ func (p *PageAllocator) clear(vpn uint64) (frame uint64, cycles uint64, ok bool)
 		return 0, cycles, false
 	}
 	frame = node.pte[idx] - 1
+	if node.shared {
+		// Copy-on-write: a shared leaf implies a shared path (a private node
+		// is never linked under a shared parent), so privatize the whole
+		// path before the PTE write. Host bookkeeping only, no cycles.
+		node = p.ownPath(vpn)
+	}
 	node.pte[idx] = 0
 	cycles += p.mem.Access(node.pfn<<config.PageShift+idx*8, true)
 	return frame, cycles, true
 }
 
+// ownPath privatizes every node on vpn's walk path, cloning shared nodes,
+// and returns the (now private) leaf. Callers must know the path exists.
+func (p *PageAllocator) ownPath(vpn uint64) *mptNode {
+	if p.root.shared {
+		p.root = cloneMPTShallow(p.root)
+	}
+	node := p.root
+	for level := mptLevels - 1; level >= 1; level-- {
+		idx := (vpn >> uint(9*level)) & (mptFanout - 1)
+		if node.children[idx].shared {
+			node.children[idx] = cloneMPTShallow(node.children[idx])
+		}
+		node = node.children[idx]
+	}
+	return node
+}
+
 // Release returns the whole pool and all table pages to the OS (process
 // teardown). The caller must have freed or abandoned all arenas first.
 func (p *PageAllocator) Release() error {
+	p.mutated = true
 	frames := p.pool
 	p.pool = nil
 	var collect func(n *mptNode)

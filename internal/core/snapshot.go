@@ -5,34 +5,25 @@ import (
 	"memento/internal/kernel"
 )
 
-// Snapshots of the Memento hardware deep-copy two linked structures: the
-// MPTR-rooted page table (a pointer tree) and the arena graph (arenas linked
-// into per-class available/full lists, indexed by base VA). Both are cloned
-// on capture AND on every restore, so a snapshot is immutable and can seed
-// any number of independent machines. Attachment state (Shootdown callbacks,
-// fault-injection hooks) is never captured; the caller re-wires it.
+// Snapshots of the Memento hardware split along mutability lines. The
+// MPTR-rooted page table is a pointer tree, so capture freezes it in place
+// (mptNode.shared) and both the snapshot and any live allocator restored
+// from it alias the nodes until a mutation clones the affected path —
+// copy-on-write, exactly like the kernel page table. The arena graph, by
+// contrast, is a doubly-linked structure the object allocator rewires
+// constantly, so it stays deep-copied on capture and on every restore.
+// Attachment state (Shootdown callbacks, fault-injection hooks) is never
+// captured; the caller re-wires it.
 
-// cloneMPTNode deep-copies a Memento page-table subtree.
-func cloneMPTNode(n *mptNode) *mptNode {
-	if n == nil {
-		return nil
-	}
-	c := &mptNode{pfn: n.pfn}
-	if n.children != nil {
-		c.children = make([]*mptNode, len(n.children))
-		for i, ch := range n.children {
-			c.children[i] = cloneMPTNode(ch)
-		}
-	}
-	if n.pte != nil {
-		c.pte = append([]uint64(nil), n.pte...)
-	}
-	return c
-}
+// paScalarBytes covers shootdownVec, residentPages, and poolPops.
+const paScalarBytes = 3 * 8
 
-// PageAllocSnapshot is a deep copy of the hardware page allocator's state:
-// the free pool, the per-class bump pointers, the AAC residency slots, the
-// Memento page table, and the counters.
+// paStatsBytes is the wire size of PageAllocStats (15 counters).
+const paStatsBytes = 15 * 8
+
+// PageAllocSnapshot is an immutable capture of the hardware page allocator's
+// state: the free pool, the per-class bump pointers, the AAC residency
+// slots, the Memento page table (aliased, copy-on-write), and the counters.
 type PageAllocSnapshot struct {
 	pool          []uint64
 	bump          []uint64
@@ -42,41 +33,85 @@ type PageAllocSnapshot struct {
 	stats         PageAllocStats
 	residentPages uint64
 	poolPops      uint64
+
+	// treeBytes is the simulated size of the aliased Memento page table,
+	// counted once at capture.
+	treeBytes uint64
 }
 
+// Bytes returns the full size of the captured state — what a deep-copy
+// restore would cost.
+func (s *PageAllocSnapshot) Bytes() uint64 {
+	return s.treeBytes + s.CopiedBytes()
+}
+
+// CopiedBytes returns the bytes a restore actually copies: the pool, the
+// bump pointers, the AAC slots, and the scalars.
+func (s *PageAllocSnapshot) CopiedBytes() uint64 {
+	return uint64(len(s.pool))*8 + uint64(len(s.bump))*8 +
+		uint64(len(s.aacSlots))*8 + paScalarBytes + paStatsBytes
+}
+
+// SharedBytes returns the bytes a restore aliases instead of copying (the
+// frozen Memento page table).
+func (s *PageAllocSnapshot) SharedBytes() uint64 { return s.treeBytes }
+
+// ResidentPages returns the captured hardware-backed arena page count —
+// part of the post-setup image warm-started instances share copy-on-write.
+func (s *PageAllocSnapshot) ResidentPages() uint64 { return s.residentPages }
+
 // Snapshot captures the page allocator. The returned value is immutable and
-// may be restored any number of times.
+// may be restored any number of times. The Memento page table is frozen and
+// aliased rather than cloned; an unchanged re-Snapshot is an O(1) handle
+// reuse.
 func (p *PageAllocator) Snapshot() *PageAllocSnapshot {
-	return &PageAllocSnapshot{
+	if !p.mutated && p.base != nil {
+		return p.base
+	}
+	markSharedMPT(p.root)
+	s := &PageAllocSnapshot{
 		pool:          append([]uint64(nil), p.pool...),
 		bump:          append([]uint64(nil), p.bump...),
 		aacSlots:      append([]int(nil), p.aacSlots...),
-		root:          cloneMPTNode(p.root),
+		root:          p.root,
 		shootdownVec:  p.shootdownVec,
 		stats:         p.stats,
 		residentPages: p.residentPages,
 		poolPops:      p.poolPops,
+		treeBytes:     countMPTBytes(p.root),
 	}
+	p.base = s
+	p.mutated = false
+	return s
 }
 
-// Restore replaces the allocator's state with a copy of s. The Shootdown
-// callback and alloc hook are left as-is (the caller owns that wiring).
-func (p *PageAllocator) Restore(s *PageAllocSnapshot) {
+// Restore replaces the allocator's state with that of s, returning the bytes
+// copied. The page table is aliased (copy-on-write); the pool, pointers, and
+// counters are copied. Restoring the base snapshot of an unmutated allocator
+// is free. The Shootdown callback and alloc hook are left as-is (the caller
+// owns that wiring).
+func (p *PageAllocator) Restore(s *PageAllocSnapshot) uint64 {
+	if s == p.base && !p.mutated {
+		return 0
+	}
 	p.pool = append(p.pool[:0], s.pool...)
 	p.bump = append(p.bump[:0], s.bump...)
 	p.aacSlots = append(p.aacSlots[:0], s.aacSlots...)
-	p.root = cloneMPTNode(s.root)
+	p.root = s.root
 	p.shootdownVec = s.shootdownVec
 	p.stats = s.stats
 	p.residentPages = s.residentPages
 	p.poolPops = s.poolPops
+	p.base = s
+	p.mutated = false
+	return s.CopiedBytes()
 }
 
 // RestorePageAllocator materializes a page allocator directly from a
 // snapshot, without refilling the pool or charging any simulated work: the
 // snapshot's frames are already accounted as allocated in the kernel
-// snapshot taken alongside it. The caller wires Shootdown and any alloc
-// hook afterwards.
+// snapshot taken alongside it. The page table is aliased (copy-on-write).
+// The caller wires Shootdown and any alloc hook afterwards.
 func RestorePageAllocator(cfg config.Machine, layout *Layout, mem Mem, k *kernel.Kernel, s *PageAllocSnapshot) *PageAllocator {
 	p := &PageAllocator{cfg: cfg, layout: layout, mem: mem, k: k}
 	p.Restore(s)
@@ -127,13 +162,33 @@ type hotSnap struct {
 	fullN     int
 }
 
+// arenaSnapBytes is the captured size of one arena: base VA, class, header
+// PA, the object bitmap, live count, bypass counter, two list links, and the
+// two membership flags.
+const arenaSnapBytes = 8 + 8 + 8 + bitmapWords*8 + 8 + 2 + 16 + 2
+
+// hotSnapBytes is the wire size of one hotSnap record.
+const hotSnapBytes = 3*8 + 2*8 + 3
+
+// unitStatsBytes is the wire size of the Stats struct (15 counters).
+const unitStatsBytes = 15 * 8
+
 // UnitSnapshot is a deep copy of the object allocator's state: the arena
 // graph, the HOT entries, the cross-thread free buffer, and the counters.
+// Unlike the page-table snapshots it is copied in full on every restore —
+// the arena graph's intrusive links make aliasing unsafe.
 type UnitSnapshot struct {
 	arenas       map[uint64]*Arena
 	hot          []hotSnap
 	crossFreeBuf []uint64
 	stats        Stats
+}
+
+// Bytes returns the full size of the captured state; a restore copies all
+// of it (UnitSnapshot has no shared portion).
+func (s *UnitSnapshot) Bytes() uint64 {
+	return uint64(len(s.arenas))*arenaSnapBytes + uint64(len(s.hot))*hotSnapBytes +
+		uint64(len(s.crossFreeBuf))*8 + unitStatsBytes
 }
 
 // Snapshot captures the unit. The returned value is immutable and may be
@@ -162,10 +217,11 @@ func (u *Unit) Snapshot() *UnitSnapshot {
 	return s
 }
 
-// Restore replaces the unit's state with a copy of s. The unit must have
-// been built by NewUnit from the same configuration and layout; the list
-// identity flags it preset are kept.
-func (u *Unit) Restore(s *UnitSnapshot) {
+// Restore replaces the unit's state with a copy of s, returning the bytes
+// copied (always s.Bytes(): the arena graph cannot be aliased). The unit
+// must have been built by NewUnit from the same configuration and layout;
+// the list identity flags it preset are kept.
+func (u *Unit) Restore(s *UnitSnapshot) uint64 {
 	u.arenaByBase = cloneArenaGraph(s.arenas)
 	for i := range u.hot {
 		e := &u.hot[i]
@@ -187,4 +243,5 @@ func (u *Unit) Restore(s *UnitSnapshot) {
 	}
 	u.crossFreeBuf = append(u.crossFreeBuf[:0], s.crossFreeBuf...)
 	u.stats = s.stats
+	return s.Bytes()
 }

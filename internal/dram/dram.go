@@ -104,6 +104,12 @@ type DRAM struct {
 	// one byte instead of an interface against nil.
 	probe  telemetry.Probe
 	probed bool
+	// Delta-snapshot state: base is the snapshot this model was last
+	// captured to or restored from, clean reports no mutation since then.
+	// The whole mutable state is a few dozen words, so the delta is all or
+	// nothing (see snapshot.go).
+	base  *Snapshot
+	clean bool
 }
 
 // SetProbe attaches a telemetry probe (nil detaches).
@@ -152,6 +158,7 @@ func (d *DRAM) bankAndRow(pa uint64) (bank int, row int64) {
 
 // access performs the shared timing path for reads and writes.
 func (d *DRAM) access(pa uint64) uint64 {
+	d.clean = false
 	bank, row := d.bankAndRow(pa)
 	var lat uint64
 	if d.openRow[bank] == row {
@@ -202,7 +209,10 @@ func (d *DRAM) Write(pa uint64) uint64 {
 func (d *DRAM) Stats() Stats { return d.stats }
 
 // ResetStats zeroes the statistics but keeps row-buffer state.
-func (d *DRAM) ResetStats() { d.stats = Stats{} }
+func (d *DRAM) ResetStats() {
+	d.stats = Stats{}
+	d.clean = false
+}
 
 func min64(a, b uint64) uint64 {
 	if a < b {

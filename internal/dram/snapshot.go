@@ -1,10 +1,20 @@
 package dram
 
-// Snapshot is a compact deep copy of a DRAM model's mutable state: the
+// scalarBytes covers lastBank, bankStreak, and the 7-counter Stats struct.
+const scalarBytes = 8 + 8 + 7*8
+
+// Snapshot is an immutable capture of a DRAM model's mutable state: the
 // per-bank open rows, the bank-streak queue state, and the statistics.
 // Geometry (banks, row size, decode shifts) is immutable configuration and
 // is not captured; a Snapshot may only be restored into a DRAM built from
 // the same DRAMConfig.
+//
+// Snapshots are delta-aware: the model remembers the snapshot it was last
+// captured to or restored from, so re-Snapshot of an untouched model is an
+// O(1) handle reuse and Restore of the base onto an untouched model copies
+// nothing. The mutable state is a few dozen words (one open row per bank),
+// so there is no finer-grained dirty tracking — any access invalidates the
+// whole delta.
 type Snapshot struct {
 	openRow    []int64
 	lastBank   int
@@ -12,24 +22,43 @@ type Snapshot struct {
 	stats      Stats
 }
 
+// Bytes returns the full size of the captured state in bytes.
+func (s *Snapshot) Bytes() uint64 {
+	return uint64(len(s.openRow))*8 + scalarBytes
+}
+
 // Snapshot captures the mutable state. The returned value is immutable and
 // may be restored any number of times, including concurrently into
-// different DRAM instances.
+// different DRAM instances. If nothing mutated since the last capture or
+// restore, the existing base snapshot is returned unchanged.
 func (d *DRAM) Snapshot() *Snapshot {
-	return &Snapshot{
+	if d.clean && d.base != nil {
+		return d.base
+	}
+	s := &Snapshot{
 		openRow:    append([]int64(nil), d.openRow...),
 		lastBank:   d.lastBank,
 		bankStreak: d.bankStreak,
 		stats:      d.stats,
 	}
+	d.base = s
+	d.clean = true
+	return s
 }
 
-// Restore replaces the DRAM's mutable state with a copy of s. The probe
-// attachment is preserved; its cached flag is re-derived.
-func (d *DRAM) Restore(s *Snapshot) {
+// Restore replaces the DRAM's mutable state with a copy of s. Restoring the
+// base snapshot into an untouched model is a no-op. The probe attachment is
+// preserved; its cached flag is re-derived. Returns the bytes copied.
+func (d *DRAM) Restore(s *Snapshot) uint64 {
+	if s == d.base && d.clean {
+		return 0
+	}
 	d.openRow = append(d.openRow[:0], s.openRow...)
 	d.lastBank = s.lastBank
 	d.bankStreak = s.bankStreak
 	d.stats = s.stats
 	d.probed = d.probe != nil
+	d.base = s
+	d.clean = true
+	return s.Bytes()
 }

@@ -19,7 +19,7 @@ func FleetStudy(s *Suite) (Experiment, error) {
 		Paper: "not in paper; fleet-level extension (cold-start fraction and keep-warm policy at cluster scale)",
 		Header: []string{
 			"pattern", "policy", "stack", "p50 Mcyc", "p99 Mcyc", "p999 Mcyc",
-			"cold", "peak MiB", "evictions",
+			"cold", "peak MiB", "shared MiB", "restore MiB", "evictions",
 		},
 	}
 	hosts := fleet.Hosts{Count: 4, Cores: 2, MemPages: 16384} // 4 x 2 cores x 64 MiB
@@ -61,6 +61,8 @@ func FleetStudy(s *Suite) (Experiment, error) {
 					mcyc(r.P50), mcyc(r.P99), mcyc(r.P999),
 					pct(r.ColdFraction()),
 					fmt.Sprintf("%.1f", float64(r.PeakBytes())/float64(1<<20)),
+					fmt.Sprintf("%.1f", float64(r.PeakSharedPages)*4096/float64(1<<20)),
+					fmt.Sprintf("%.1f", float64(r.RestoreBytes)/float64(1<<20)),
 					fmt.Sprintf("%d", len(r.Evictions)),
 				})
 			}
@@ -70,6 +72,8 @@ func FleetStudy(s *Suite) (Experiment, error) {
 		fmt.Sprintf("pool: %d hosts x %d cores x %d MiB; %d invocations per run, mean inter-arrival %d cycles",
 			hosts.Count, hosts.Cores, hosts.MemPages*4096/(1<<20), n, meanGap),
 		"warm hits restore the machine layer's post-setup snapshot; cold misses pay the measured container+setup cycles",
+		"shared = peak pages co-resident instances alias from one copy-on-write base; restore = total delta-restore bytes warm hits copied",
+		"idle warm instances are trimmed to the shared base (private pages delta-restore on the next hit), so keep-warm pools peak far below footprint x occupancy",
 	)
 	return e, nil
 }

@@ -30,6 +30,19 @@ type Cost struct {
 	// FootprintPages is the resident memory an instance occupies while
 	// running or kept warm (the run's peak resident pages).
 	FootprintPages uint64
+	// SharedPages is the copy-on-write portion of the footprint: the
+	// post-setup base image (the warm-start checkpoint's resident pages)
+	// that every co-resident instance of the same workload aliases instead
+	// of duplicating, privatizing only the pages its own run touches. The
+	// first resident instance on a host pays the full footprint; each
+	// sibling pays FootprintPages - SharedPages.
+	SharedPages uint64
+	// SnapshotBytes is the full size of the workload's warm-start
+	// checkpoint — what a deep-copy restore would move.
+	SnapshotBytes uint64
+	// RestoreBytes is what a steady-state warm restore actually copies: the
+	// delta a previous run dirtied, measured on the second restored run.
+	RestoreBytes uint64
 }
 
 // ColdLatency is the queue-free latency of a cold invocation: container
@@ -120,7 +133,9 @@ func (b *SimBackend) Measure(name string, stack machine.Stack) (Cost, error) {
 		delete(b.inflight, key)
 		if err == nil {
 			b.costs[key] = c
-			b.restores++
+			// Two restored runs per measurement: the full-copy run and the
+			// delta-metering run.
+			b.restores += 2
 		}
 		b.mu.Unlock()
 		wg.Done()
@@ -129,7 +144,10 @@ func (b *SimBackend) Measure(name string, stack machine.Stack) (Cost, error) {
 }
 
 // measure runs the actual simulation: one PrepareWarm (building the
-// checkpoint) and one restored run.
+// checkpoint) and two restored runs. The first run restores onto a fresh
+// machine (a full copy); the second recycles that machine, so its metering
+// reports the steady-state delta restore — the bytes a warm fan-out
+// instance actually copies once the base is shared.
 func (b *SimBackend) measure(name string, stack machine.Stack) (Cost, error) {
 	p, ok := workload.ByName(name)
 	if !ok {
@@ -141,16 +159,30 @@ func (b *SimBackend) measure(name string, stack machine.Stack) (Cost, error) {
 	if err != nil {
 		return Cost{}, fmt.Errorf("fleet: measuring %s/%s: %w", name, stack, err)
 	}
-	res, err := ws.Run(tr, opt)
+	res, _, err := ws.RunMetered(tr, opt)
 	if err != nil {
 		return Cost{}, fmt.Errorf("fleet: measuring %s/%s (warm run): %w", name, stack, err)
 	}
-	return Cost{
+	_, delta, err := ws.RunMetered(tr, opt)
+	if err != nil {
+		return Cost{}, fmt.Errorf("fleet: measuring %s/%s (delta run): %w", name, stack, err)
+	}
+	c := Cost{
 		RunCycles:       res.Cycles,
 		SetupCycles:     ws.SetupCycles(),
 		ColdExtraCycles: tr.ColdStartCycles,
 		FootprintPages:  res.PeakResidentPages,
-	}, nil
+		SnapshotBytes:   ws.SnapshotBytes(),
+		RestoreBytes:    delta.RestoreBytes,
+	}
+	// The CoW-shareable base is the checkpoint's post-setup resident image:
+	// siblings alias it and privatize only run-touched pages. Capped by the
+	// instance footprint it is part of.
+	c.SharedPages = ws.BaseResidentPages()
+	if c.SharedPages > c.FootprintPages {
+		c.SharedPages = c.FootprintPages
+	}
+	return c, nil
 }
 
 // MeasureShared implements Backend: it runs two copies of the workload

@@ -193,9 +193,26 @@ type Result struct {
 
 	// PeakPages is the high-water mark of aggregate resident pages across
 	// the cluster (running instances plus warm pools); MeanPages is the
-	// time-weighted mean over the run.
+	// time-weighted mean over the run. Co-resident instances of the same
+	// workload on a host share their copy-on-write warm-start base: the
+	// first pays the full footprint, each sibling only the private
+	// remainder, and an idle warm instance is trimmed down to its base
+	// share (its private pages delta-restore on the next hit) — so
+	// warm-heavy schedules peak far below footprint times occupancy.
 	PeakPages uint64
 	MeanPages float64
+
+	// PeakSharedPages is the high-water mark of pages the copy-on-write
+	// base sharing saved the cluster (pages siblings alias instead of
+	// duplicating) — zero when no two instances of a workload co-reside.
+	PeakSharedPages uint64
+	// RestoreBytes is the total state the warm hits' delta restores copied:
+	// WarmHits times each workload's measured steady-state restore delta.
+	RestoreBytes uint64
+	// SnapshotBytes sums the full checkpoint size over the distinct
+	// workloads scheduled — the deep-copy cost RestoreBytes is measured
+	// against.
+	SnapshotBytes uint64
 
 	// Evictions is the warm-instance eviction log in event order.
 	Evictions []Eviction
@@ -232,6 +249,11 @@ type hostState struct {
 	running int
 	used    uint64
 	warm    []warmInst
+	// resident counts resident instances (running plus warm) per workload;
+	// co-residents share the workload's copy-on-write warm-start base, so
+	// the first instance charges the full footprint and each sibling only
+	// the private remainder.
+	resident map[string]int
 }
 
 type warmInst struct {
@@ -240,6 +262,11 @@ type warmInst struct {
 	pages     uint64
 	idleSince uint64
 	expireAt  uint64
+	// trimmed marks a lazily-kept instance: its private pages were dropped
+	// when it went idle (a warm hit delta-restores them from the shared
+	// checkpoint base), so it holds only its share of the base. Only
+	// possible when the cost model reports a shared base to restore from.
+	trimmed bool
 }
 
 // Now is the simulation clock in cycles.
@@ -329,6 +356,53 @@ type engine struct {
 	lastMemT   uint64
 	pageCycles uint64
 	curPages   uint64
+	curShared  uint64
+}
+
+// neededPages is what admitting one more instance of workload w on host h
+// would charge right now: the full footprint for the first resident
+// instance, the private remainder when the shared base is already up.
+func (e *engine) neededPages(h int, w string) uint64 {
+	cost := e.costs[w]
+	if e.c.hosts[h].resident[w] > 0 {
+		return cost.FootprintPages - cost.SharedPages
+	}
+	return cost.FootprintPages
+}
+
+// chargePages admits one instance of workload w on host h, returning the
+// pages charged and tracking the cluster-wide sharing high-water mark.
+func (e *engine) chargePages(h int, w string) uint64 {
+	host := &e.c.hosts[h]
+	pages := e.neededPages(h, w)
+	if host.resident[w] > 0 {
+		e.curShared += e.costs[w].SharedPages
+		if e.curShared > e.res.PeakSharedPages {
+			e.res.PeakSharedPages = e.curShared
+		}
+	}
+	host.resident[w]++
+	return pages
+}
+
+// releasePages retires one instance of workload w from host h, returning
+// the pages released. A fully-resident instance holds its private pages
+// plus — when it is the last resident — the shared base; a trimmed warm
+// instance holds only its base share, so dropping it releases nothing
+// until the last resident leaves and the base itself goes.
+func (e *engine) releasePages(h int, w string, trimmed bool) uint64 {
+	host := &e.c.hosts[h]
+	cost := e.costs[w]
+	host.resident[w]--
+	private := cost.FootprintPages - cost.SharedPages
+	if trimmed {
+		private = 0
+	}
+	if host.resident[w] > 0 {
+		e.curShared -= cost.SharedPages
+		return private
+	}
+	return private + cost.SharedPages
 }
 
 // Run executes the configured arrival trace on the given stack and
@@ -377,6 +451,10 @@ func (f *Fleet) Run(stack machine.Stack) (*Result, error) {
 	}
 	for i := range e.c.hosts {
 		e.c.hosts[i].slots = make([]int, f.hosts.Cores)
+		e.c.hosts[i].resident = make(map[string]int)
+	}
+	for name := range costs {
+		e.res.SnapshotBytes += costs[name].SnapshotBytes
 	}
 	for _, inv := range invs {
 		e.push(event{time: inv.Arrival, kind: evArrival, inv: inv})
@@ -528,11 +606,44 @@ func (e *engine) tryPlace(inv Invocation) (bool, error) {
 		}
 	}
 	warm := warmIdx >= 0
+	if warm && host.warm[warmIdx].trimmed {
+		// A trimmed instance dropped its private pages when it went idle;
+		// the delta restore copies them back, so re-charge them (evicting
+		// under pressure like a cold placement would).
+		private := cost.FootprintPages - cost.SharedPages
+		for e.c.FreePages(h) < private {
+			v := e.f.policy.Victim(&e.c, h)
+			if v == -1 {
+				return false, nil
+			}
+			if v < -1 || v >= len(host.warm) {
+				return false, fmt.Errorf("fleet: policy %s evicted warm index %d of %d on host %d",
+					e.f.policy.Name(), v, len(host.warm), h)
+			}
+			sacrificed := host.warm[v].uid == host.warm[warmIdx].uid
+			e.evict(h, v, "pressure")
+			if sacrificed {
+				// The policy evicted the very instance we were about to
+				// hit; fall back to a cold placement.
+				warm = false
+				break
+			}
+			if v < warmIdx {
+				warmIdx--
+			}
+		}
+		if warm {
+			host.used += private
+			e.memDelta(int64(private))
+		}
+	}
 	if warm {
 		host.warm = append(host.warm[:warmIdx], host.warm[warmIdx+1:]...)
-		// Pages stay resident: the warm instance becomes the running one.
+		// The base stays resident and aliased; the warm hit copies only the
+		// measured delta-restore bytes.
+		e.res.RestoreBytes += cost.RestoreBytes
 	} else {
-		for e.c.FreePages(h) < cost.FootprintPages {
+		for e.c.FreePages(h) < e.neededPages(h, inv.Workload) {
 			v := e.f.policy.Victim(&e.c, h)
 			if v == -1 {
 				return false, nil
@@ -543,8 +654,9 @@ func (e *engine) tryPlace(inv Invocation) (bool, error) {
 			}
 			e.evict(h, v, "pressure")
 		}
-		host.used += cost.FootprintPages
-		e.memDelta(int64(cost.FootprintPages))
+		pages := e.chargePages(h, inv.Workload)
+		host.used += pages
+		e.memDelta(int64(pages))
 	}
 
 	// Dispatch on the least-occupied core slot.
@@ -595,12 +707,26 @@ func (e *engine) complete(ev event) error {
 	cost := e.costs[ev.inv.Workload]
 	ttl := e.f.policy.KeepWarmTTL(&e.c, ev.inv)
 	if ttl == 0 {
-		host.used -= cost.FootprintPages
-		e.memDelta(-int64(cost.FootprintPages))
+		pages := e.releasePages(ev.host, ev.inv.Workload, false)
+		host.used -= pages
+		e.memDelta(-int64(pages))
 	} else {
 		w := warmInst{
 			uid: e.uid, workload: ev.inv.Workload, pages: cost.FootprintPages,
 			idleSince: e.c.now, expireAt: NoExpiry,
+		}
+		if cost.SharedPages > 0 {
+			// Lazy warm pool (the REAP insight at fleet scale): an idle
+			// instance keeps only its share of the copy-on-write base and
+			// drops the pages its run privatized — the next warm hit
+			// delta-restores them from the checkpoint. Without a shared
+			// base there is nothing to restore from, so the instance must
+			// stay fully resident.
+			private := cost.FootprintPages - cost.SharedPages
+			host.used -= private
+			e.memDelta(-int64(private))
+			w.pages = cost.SharedPages
+			w.trimmed = true
 		}
 		e.uid++
 		if ttl != NoExpiry {
@@ -640,14 +766,17 @@ func (e *engine) drainPending() error {
 	return nil
 }
 
-// evict removes warm instance i from host h and logs it.
+// evict removes warm instance i from host h and logs it. The pages
+// released depend on sharing: a trimmed instance holds only base share,
+// and a sibling keeping the base resident makes any eviction cheaper.
 func (e *engine) evict(h, i int, reason string) {
 	host := &e.c.hosts[h]
 	w := host.warm[i]
 	host.warm = append(host.warm[:i], host.warm[i+1:]...)
-	host.used -= w.pages
-	e.memDelta(-int64(w.pages))
-	evn := Eviction{Time: e.c.now, Host: h, Workload: w.workload, Pages: w.pages, Reason: reason}
+	pages := e.releasePages(h, w.workload, w.trimmed)
+	host.used -= pages
+	e.memDelta(-int64(pages))
+	evn := Eviction{Time: e.c.now, Host: h, Workload: w.workload, Pages: pages, Reason: reason}
 	e.res.Evictions = append(e.res.Evictions, evn)
 	if e.f.probe != nil {
 		e.f.probe.Eviction(evn)

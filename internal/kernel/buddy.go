@@ -43,6 +43,26 @@ type Buddy struct {
 	// of order o, allocTag+o for an allocated block head of order o.
 	state      []uint8
 	freeFrames uint64
+	// Delta-snapshot state: snapBase is the snapshot this allocator was last
+	// captured to or restored from, dirty is a bitmap with one bit per
+	// dirtyBlockFrames-frame window of the tracking arrays mutated since
+	// then, and clean reports no mutation at all. The scalars (watermark,
+	// freeFrames, head) are always re-copied on a delta restore; only the
+	// per-frame arrays are delta-tracked. See snapshot.go.
+	snapBase *buddySnapshot
+	clean    bool
+	dirty    []uint64
+}
+
+// dirtyBlockShift sets the dirty-tracking granularity: one bitmap bit covers
+// 2^8 = 256 consecutive frame offsets (2304 bytes of tracking arrays).
+const dirtyBlockShift = 8
+
+// markDirty records that offset off's tracking window diverged from base.
+func (b *Buddy) markDirty(off uint64) {
+	blk := off >> dirtyBlockShift
+	b.dirty[blk>>6] |= 1 << (blk & 63)
+	b.clean = false
 }
 
 const (
@@ -52,7 +72,13 @@ const (
 
 // NewBuddy creates an allocator over nframes frames starting at PFN base.
 func NewBuddy(base, nframes uint64) *Buddy {
-	b := &Buddy{base: base, nframes: nframes, freeFrames: nframes}
+	blocks := (nframes + (1 << dirtyBlockShift) - 1) >> dirtyBlockShift
+	b := &Buddy{
+		base:       base,
+		nframes:    nframes,
+		freeFrames: nframes,
+		dirty:      make([]uint64, (blocks+63)/64),
+	}
 	for o := range b.head {
 		b.head[o] = noFrame
 	}
@@ -94,9 +120,11 @@ func (b *Buddy) push(off uint64, o int) {
 	b.next[off] = h
 	if h != noFrame {
 		b.prev[h] = int32(off)
+		b.markDirty(uint64(h))
 	}
 	b.head[o] = int32(off)
 	b.state[off] = freeTag + uint8(o)
+	b.markDirty(off)
 }
 
 // unlink removes free block head off from order o's list.
@@ -104,13 +132,16 @@ func (b *Buddy) unlink(off uint64, o int) {
 	p, n := b.prev[off], b.next[off]
 	if p != noFrame {
 		b.next[p] = n
+		b.markDirty(uint64(p))
 	} else {
 		b.head[o] = n
 	}
 	if n != noFrame {
 		b.prev[n] = p
+		b.markDirty(uint64(n))
 	}
 	b.state[off] = 0
+	b.markDirty(off)
 }
 
 // Alloc returns the first frame of a free 2^order block, splitting larger
@@ -153,6 +184,7 @@ func (b *Buddy) Alloc(order int) (frame uint64, ok bool) {
 		off = aligned
 	}
 	b.state[off] = allocTag + uint8(order)
+	b.markDirty(off)
 	b.freeFrames -= 1 << order
 	return b.base + off, true
 }
@@ -166,6 +198,7 @@ func (b *Buddy) Free(frame uint64) error {
 	}
 	order := int(b.state[off] - allocTag)
 	b.state[off] = 0
+	b.markDirty(off)
 	b.freeFrames += uint64(1) << order
 	for order < MaxOrder {
 		buddy := off ^ (1 << order)

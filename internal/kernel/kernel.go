@@ -114,6 +114,11 @@ type AddressSpace struct {
 	peakResident uint64
 	// vmasCreated counts mappings ever created (slab accounting).
 	vmasCreated uint64
+	// Delta-snapshot state: base is the snapshot this address space was last
+	// captured to or restored from; mutated is set by every state-changing
+	// entry point so an unchanged re-Snapshot is an O(1) handle reuse.
+	base    *AddressSpaceSnapshot
+	mutated bool
 }
 
 // vmasPerSlabPage is how many VMA metadata sets fit a kernel slab page
@@ -152,6 +157,9 @@ type Kernel struct {
 	// injection); frameAllocs counts allocation attempts for its trigger.
 	allocHook   AllocHook
 	frameAllocs uint64
+	// base is the machine-wide snapshot handle reused while nothing changes
+	// (see snapshot.go).
+	base *Snapshot
 }
 
 // SetProbe attaches a telemetry probe (nil detaches).
@@ -234,6 +242,7 @@ func (k *Kernel) DestroyAddressSpace(as *AddressSpace) error {
 	if as == nil {
 		return nil
 	}
+	as.mutated = true
 	var firstErr error
 	for _, v := range as.vmas {
 		for vpn := v.startVPN; vpn < v.endVPN; vpn++ {
@@ -291,6 +300,7 @@ func (k *Kernel) Mmap(as *AddressSpace, length uint64, populate bool) (va uint64
 	cycles += k.cfg.InstrCycles(k.cfg.Cost.MmapBaseInstrs)
 	cycles += as.vmaAccess(6, true)
 
+	as.mutated = true
 	start := as.cursor
 	as.cursor += pages
 	as.vmas = append(as.vmas, vma{startVPN: start, endVPN: start + pages, populate: populate})
@@ -331,6 +341,7 @@ func (k *Kernel) Mmap(as *AddressSpace, length uint64, populate bool) (va uint64
 // error wraps simerr.ErrOutOfMemory when either the data frame or a
 // page-table frame cannot be allocated.
 func (k *Kernel) populatePage(as *AddressSpace, vpn uint64) (cycles uint64, err error) {
+	as.mutated = true
 	frame, err := k.allocFrame(0)
 	if err != nil {
 		return 0, err
@@ -371,6 +382,7 @@ func (k *Kernel) Munmap(as *AddressSpace, va, length uint64) (cycles uint64, err
 			v.startVPN, v.endVPN, startVPN, startVPN+pages)
 	}
 
+	as.mutated = true
 	cycles = k.cfg.Cost.SyscallEntryExitCycles
 	cycles += k.cfg.InstrCycles(k.cfg.Cost.MunmapBaseInstrs)
 	cycles += as.vmaAccess(6, true)

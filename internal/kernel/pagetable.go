@@ -23,10 +23,58 @@ const ptFanout = 512
 // ptNode is one page-table page. Interior nodes hold children; the leaf
 // level holds PTEs encoded as pfn+1 (0 = not present), mirroring hardware
 // present bits.
+//
+// shared marks a node captured into an AddressSpaceSnapshot: it is frozen
+// and may be aliased by any number of snapshots and live address spaces.
+// Mutators clone a shared node (and the path above it) before writing —
+// copy-on-write path copying. A shared node's descendants are always shared
+// (the capture walk marks whole subtrees, and a mutator never links a
+// private child under a shared parent), so one flag check per level
+// suffices.
 type ptNode struct {
 	pfn      uint64
 	children []*ptNode // nil at leaf level
 	pte      []uint64  // nil at interior levels
+	shared   bool
+}
+
+// clonePTShallow returns a private copy of n: same pfn and entries, child
+// pointers still aliasing the (shared) originals.
+func clonePTShallow(n *ptNode) *ptNode {
+	c := &ptNode{pfn: n.pfn}
+	if n.children != nil {
+		c.children = append([]*ptNode(nil), n.children...)
+	}
+	if n.pte != nil {
+		c.pte = append([]uint64(nil), n.pte...)
+	}
+	return c
+}
+
+// markSharedPT freezes a subtree for snapshot aliasing. The walk prunes at
+// already-shared nodes: their whole subtree was frozen by an earlier capture
+// and is immutable, so re-marking (which would race with concurrent
+// restores reading the flag) is never needed.
+func markSharedPT(n *ptNode) {
+	if n == nil || n.shared {
+		return
+	}
+	n.shared = true
+	for _, c := range n.children {
+		markSharedPT(c)
+	}
+}
+
+// countPTBytes returns the simulated size of a subtree: one page per node.
+func countPTBytes(n *ptNode) uint64 {
+	if n == nil {
+		return 0
+	}
+	b := uint64(config.PageSize)
+	for _, c := range n.children {
+		b += countPTBytes(c)
+	}
+	return b
 }
 
 // PageTable is a 4-level page table whose table pages are real simulated
@@ -121,6 +169,8 @@ func (k *Kernel) install(pt *PageTable, vpn, pfn uint64) (uint64, error) {
 		}
 		pt.root = n
 		cycles += c
+	} else if pt.root.shared {
+		pt.root = clonePTShallow(pt.root)
 	}
 	node := pt.root
 	for level := ptLevels - 1; level >= 1; level-- {
@@ -136,6 +186,11 @@ func (k *Kernel) install(pt *PageTable, vpn, pfn uint64) (uint64, error) {
 			// Write the new entry into this level.
 			cycles += k.mem.Access(node.pfn<<config.PageShift+idx*8, true)
 			node.children[idx] = n
+		} else if node.children[idx].shared {
+			// Copy-on-write: privatize the path before the PTE write below.
+			// Host-side bookkeeping only — the simulated frame is unchanged,
+			// so no cycles are charged.
+			node.children[idx] = clonePTShallow(node.children[idx])
 		}
 		node = node.children[idx]
 	}
@@ -166,9 +221,32 @@ func (pt *PageTable) clear(vpn uint64, mem Mem) (pfn uint64, cycles uint64, ok b
 		return 0, cycles, false
 	}
 	pfn = node.pte[idx] - 1
+	if node.shared {
+		// Copy-on-write: a shared leaf implies a shared path (a private node
+		// is never linked under a shared parent), so privatize the whole
+		// path before the PTE write. Host bookkeeping only, no cycles.
+		node = pt.ownPath(vpn)
+	}
 	node.pte[idx] = 0
 	cycles += mem.Access(node.pfn<<config.PageShift+idx*8, true)
 	return pfn, cycles, true
+}
+
+// ownPath privatizes every node on vpn's walk path, cloning shared nodes,
+// and returns the (now private) leaf. Callers must know the path exists.
+func (pt *PageTable) ownPath(vpn uint64) *ptNode {
+	if pt.root.shared {
+		pt.root = clonePTShallow(pt.root)
+	}
+	node := pt.root
+	for level := ptLevels - 1; level >= 1; level-- {
+		idx := ptIndex(vpn, level)
+		if node.children[idx].shared {
+			node.children[idx] = clonePTShallow(node.children[idx])
+		}
+		node = node.children[idx]
+	}
+	return node
 }
 
 // reapEmpty frees page-table pages that no longer contain any valid entry,
@@ -178,41 +256,61 @@ func (k *Kernel) reapEmpty(pt *PageTable) (freed uint64, cycles uint64) {
 	if pt.root == nil {
 		return 0, 0
 	}
-	var rec func(n *ptNode) (empty bool)
-	rec = func(n *ptNode) bool {
+	// rec returns the (possibly cloned) node and whether its subtree is
+	// empty. Dropping an empty child mutates the parent, so a shared parent
+	// is cloned first and the clone bubbles up to be re-linked (CoW path
+	// copying, host bookkeeping only). The freed child node itself is not
+	// mutated — only its frame returns to the live buddy allocator; any
+	// snapshot aliasing it keeps its own consistent view of that frame.
+	var rec func(n *ptNode) (*ptNode, bool)
+	rec = func(n *ptNode) (*ptNode, bool) {
 		if n.pte != nil {
 			for _, e := range n.pte {
 				if e != 0 {
-					return false
+					return n, false
 				}
 			}
-			return true
+			return n, true
 		}
 		allEmpty := true
-		for i, c := range n.children {
+		for i := range n.children {
+			c := n.children[i]
 			if c == nil {
 				continue
 			}
-			if rec(c) {
-				if err := k.buddy.Free(c.pfn); err == nil {
+			nc, empty := rec(c)
+			if empty {
+				if err := k.buddy.Free(nc.pfn); err == nil {
 					freed++
 					k.stats.PageTablePages--
 					cycles += k.cfg.InstrCycles(k.cfg.Cost.BuddyFreeInstrs)
 				}
+				if n.shared {
+					n = clonePTShallow(n)
+				}
 				n.children[i] = nil
-			} else {
-				allEmpty = false
+				continue
+			}
+			allEmpty = false
+			if nc != c {
+				if n.shared {
+					n = clonePTShallow(n)
+				}
+				n.children[i] = nc
 			}
 		}
-		return allEmpty
+		return n, allEmpty
 	}
-	if rec(pt.root) {
-		if err := k.buddy.Free(pt.root.pfn); err == nil {
+	root, empty := rec(pt.root)
+	if empty {
+		if err := k.buddy.Free(root.pfn); err == nil {
 			freed++
 			k.stats.PageTablePages--
 			cycles += k.cfg.InstrCycles(k.cfg.Cost.BuddyFreeInstrs)
 		}
 		pt.root = nil
+	} else {
+		pt.root = root
 	}
 	return freed, cycles
 }

@@ -165,6 +165,9 @@ type Machine struct {
 	h    *cache.Hierarchy
 	k    *kernel.Kernel
 	tlbs *tlb.System
+	// base is the snapshot this machine was last captured to or restored
+	// from; re-capturing an untouched machine reuses it (O(1)).
+	base *Snapshot
 }
 
 // New builds a machine from configuration.

@@ -1,0 +1,8 @@
+//go:build race
+
+package machine
+
+// raceEnabled reports whether the race detector is compiled in (this file's
+// build tag selects it). Used to skip allocation-count assertions, which the
+// detector's instrumentation would distort.
+const raceEnabled = true

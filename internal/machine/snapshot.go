@@ -15,12 +15,15 @@ import (
 	"memento/internal/trace"
 )
 
-// Snapshot is a compact deep copy of a machine's hardware state: DRAM row
+// Snapshot is an immutable capture of a machine's hardware state: DRAM row
 // buffers, the cache hierarchy, both TLB levels, and the kernel's
-// machine-wide state (buddy allocator + counters). It is immutable — both
-// capture and restore clone — so one snapshot can seed any number of
-// machines, concurrently. Observation wiring (probes, fault-injection
-// hooks) is never part of a snapshot; it is re-attached per run.
+// machine-wide state (buddy allocator + counters). One snapshot can seed
+// any number of machines, concurrently. Every component is delta-aware:
+// restoring a machine back onto the snapshot it was captured from copies
+// only the regions dirtied in between, and re-capturing an untouched
+// machine reuses the previous handle. Observation wiring (probes,
+// fault-injection hooks) is never part of a snapshot; it is re-attached
+// per run.
 type Snapshot struct {
 	cfg  config.Machine
 	d    *dram.Snapshot
@@ -32,29 +35,71 @@ type Snapshot struct {
 // Config returns the configuration the snapshot was taken under.
 func (s *Snapshot) Config() config.Machine { return s.cfg }
 
-// Snapshot captures the machine's hardware state.
-func (m *Machine) Snapshot() *Snapshot {
-	return &Snapshot{
-		cfg:  m.cfg,
-		d:    m.d.Snapshot(),
-		h:    m.h.Snapshot(),
-		tlbs: m.tlbs.Snapshot(),
-		k:    m.k.Snapshot(),
-	}
+// Bytes returns the full size of the captured hardware state — what a
+// from-scratch restore copies.
+func (s *Snapshot) Bytes() uint64 {
+	return s.d.Bytes() + s.h.Bytes() + s.tlbs.Bytes() + s.k.Bytes()
 }
 
-// Restore replaces the machine's hardware state with a copy of s. The
+// RestoreStats meters one restore: how big the captured state is, how much
+// of it the restore actually copied (the delta), and how much it aliased
+// copy-on-write instead of copying (frozen page-table trees shared with the
+// snapshot). Bit-identical simulation results are unaffected — these are
+// host-side bookkeeping numbers, reported by the warm-start and fleet
+// experiments as the paper-motivating fan-out costs.
+type RestoreStats struct {
+	// SnapshotBytes is the full captured state size.
+	SnapshotBytes uint64
+	// RestoreBytes is what this restore copied. For a delta restore onto
+	// the machine the snapshot came from this is only the dirtied regions;
+	// for a fresh machine it approaches SnapshotBytes - SharedBytes.
+	RestoreBytes uint64
+	// SharedBytes is the copy-on-write portion aliased instead of copied.
+	SharedBytes uint64
+}
+
+// add accumulates o into s.
+func (s *RestoreStats) add(o RestoreStats) {
+	s.SnapshotBytes += o.SnapshotBytes
+	s.RestoreBytes += o.RestoreBytes
+	s.SharedBytes += o.SharedBytes
+}
+
+// Snapshot captures the machine's hardware state. If nothing changed since
+// the previous capture or restore, the previous handle is returned (O(1)).
+func (m *Machine) Snapshot() *Snapshot {
+	d, h, t, k := m.d.Snapshot(), m.h.Snapshot(), m.tlbs.Snapshot(), m.k.Snapshot()
+	if b := m.base; b != nil && b.d == d && b.h == h && b.tlbs == t && b.k == k {
+		return b
+	}
+	s := &Snapshot{cfg: m.cfg, d: d, h: h, tlbs: t, k: k}
+	m.base = s
+	return s
+}
+
+// Restore replaces the machine's hardware state with that of s. The
 // machine must have been built from the same configuration; probe and hook
 // attachments survive the restore (their cached flags are re-derived).
 func (m *Machine) Restore(s *Snapshot) error {
+	_, err := m.RestoreMetered(s)
+	return err
+}
+
+// RestoreMetered is Restore with byte metering: it reports how much state
+// the restore copied. Restoring a machine back onto its own base snapshot
+// copies only what the machine dirtied since — the lazy-restore fast path
+// massive warm fan-out rides on.
+func (m *Machine) RestoreMetered(s *Snapshot) (RestoreStats, error) {
 	if m.cfg != s.cfg {
-		return fmt.Errorf("machine: restore of snapshot from a different configuration: %w", simerr.ErrInvalidConfig)
+		return RestoreStats{}, fmt.Errorf("machine: restore of snapshot from a different configuration: %w", simerr.ErrInvalidConfig)
 	}
-	m.d.Restore(s.d)
-	m.h.Restore(s.h)
-	m.tlbs.Restore(s.tlbs)
-	m.k.Restore(s.k)
-	return nil
+	rs := RestoreStats{SnapshotBytes: s.Bytes()}
+	rs.RestoreBytes += m.d.Restore(s.d)
+	rs.RestoreBytes += m.h.Restore(s.h)
+	rs.RestoreBytes += m.tlbs.Restore(s.tlbs)
+	rs.RestoreBytes += m.k.Restore(s.k)
+	m.base = s
+	return rs, nil
 }
 
 // procSnapshot is a deep copy of one process's post-setup state: the
@@ -81,6 +126,28 @@ type procSnapshot struct {
 	appBufLen uint64
 	appCursor uint64
 	appRng    uint64
+}
+
+// procScalarBytes covers the cycle buckets (8 counters), the app-buffer
+// cursor/RNG quad, and the stack/language tags.
+const procScalarBytes = 8*8 + 4*8 + 2*8
+
+// restoreStats meters what restoring this process snapshot costs: the
+// address-space and Memento page tables are aliased copy-on-write, the
+// allocator graphs and scalars are copied.
+func (ps *procSnapshot) restoreStats() RestoreStats {
+	var rs RestoreStats
+	rs.SharedBytes = ps.as.SharedBytes()
+	rs.RestoreBytes = ps.as.CopiedBytes() + procScalarBytes
+	if ps.alloc != nil {
+		rs.RestoreBytes += ps.alloc.Bytes()
+	}
+	if ps.pa != nil {
+		rs.SharedBytes += ps.pa.SharedBytes()
+		rs.RestoreBytes += ps.pa.CopiedBytes() + ps.unit.Bytes() + ps.large.Bytes()
+	}
+	rs.SnapshotBytes = rs.RestoreBytes + rs.SharedBytes
+	return rs
 }
 
 // captureState deep-copies the process's state. It must be called before

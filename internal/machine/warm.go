@@ -66,6 +66,11 @@ type WarmStart struct {
 	msnap       *Snapshot
 	psnap       *procSnapshot
 	setupCycles uint64
+	// pool recycles machines whose components are already based on msnap:
+	// restoring one copies only the regions the previous run dirtied (the
+	// delta), not the whole hardware state. Machines enter the pool only
+	// after a successful run; failed runs abandon theirs.
+	pool sync.Pool
 }
 
 // newWarmStart captures machine + process state. The process stays usable
@@ -96,6 +101,32 @@ func (w *WarmStart) Stack() Stack { return w.key.stack }
 // experiment reports.
 func (w *WarmStart) SetupCycles() uint64 { return w.setupCycles }
 
+// SnapshotBytes returns the full size of the checkpoint (machine hardware
+// state plus the process snapshot) — what a deep-copy restore would move.
+func (w *WarmStart) SnapshotBytes() uint64 {
+	return w.msnap.Bytes() + w.psnap.restoreStats().SnapshotBytes
+}
+
+// SharedBytes returns the copy-on-write portion of the checkpoint: frozen
+// page-table trees that every restored instance aliases instead of copying.
+func (w *WarmStart) SharedBytes() uint64 {
+	return w.psnap.restoreStats().SharedBytes
+}
+
+// BaseResidentPages returns the post-setup resident page count of the
+// checkpointed process (software address space plus, on the Memento stack,
+// hardware-backed arena pages). In a copy-on-write fan-out every warm
+// instance aliases this base image and privatizes only what its run
+// touches, so it is the per-sibling sharing potential the fleet layer
+// charges with.
+func (w *WarmStart) BaseResidentPages() uint64 {
+	n := w.psnap.as.ResidentPages()
+	if w.psnap.pa != nil {
+		n += w.psnap.pa.ResidentPages()
+	}
+	return n
+}
+
 // PrepareWarm simulates process setup once and returns the checkpoint,
 // without running any trace events. The setup simulation is observed by
 // opt.Probe and opt.AllocHook if attached (they see setup's page faults
@@ -122,24 +153,51 @@ func PrepareWarm(cfg config.Machine, tr *trace.Trace, opt Options) (*WarmStart, 
 // restore: a hook passed here counts only post-setup frame allocations,
 // unlike a cold run whose hook also sees setup's.
 func (w *WarmStart) Run(tr *trace.Trace, opt Options) (Result, error) {
+	r, _, err := w.RunMetered(tr, opt)
+	return r, err
+}
+
+// RunMetered is Run with restore metering: it additionally reports how many
+// bytes the restore copied and aliased. Repeat runs recycle machines whose
+// state is already based on this checkpoint, so their RestoreBytes cover
+// only the previous run's dirtied regions — far below SnapshotBytes — which
+// is what makes massive warm fan-out cheap. The simulation result is
+// bit-identical either way.
+func (w *WarmStart) RunMetered(tr *trace.Trace, opt Options) (Result, RestoreStats, error) {
 	opt.Warm = nil
 	if k := warmKeyOf(w.cfg, tr, opt); k != w.key {
-		return Result{}, simerr.WithRun(
+		return Result{}, RestoreStats{}, simerr.WithRun(
 			fmt.Errorf("machine: warm start was prepared for a different setup: %w", simerr.ErrInvalidConfig),
 			tr.Name, opt.Stack.String(), -1)
 	}
-	m, err := New(w.cfg)
+	var m *Machine
+	if v := w.pool.Get(); v != nil {
+		m = v.(*Machine)
+	} else {
+		var err error
+		m, err = New(w.cfg)
+		if err != nil {
+			return Result{}, RestoreStats{}, err
+		}
+	}
+	rs, err := m.RestoreMetered(w.msnap)
 	if err != nil {
-		return Result{}, err
+		return Result{}, RestoreStats{}, err
 	}
-	if err := m.Restore(w.msnap); err != nil {
-		return Result{}, err
-	}
+	rs.add(w.psnap.restoreStats())
 	p, err := m.restoreProcess(tr, opt, w.psnap)
 	if err != nil {
-		return Result{}, simerr.WithRun(err, tr.Name, opt.Stack.String(), -1)
+		return Result{}, rs, simerr.WithRun(err, tr.Name, opt.Stack.String(), -1)
 	}
-	return m.runLoop(p, tr, opt)
+	r, err := m.runLoop(p, tr, opt)
+	if err != nil {
+		return Result{}, rs, err
+	}
+	// Detach per-run observation wiring before recycling the machine.
+	m.attachProbe(nil)
+	m.k.SetAllocHook(nil)
+	w.pool.Put(m)
+	return r, rs, nil
 }
 
 // warmRuns caches one WarmStart per setup key for the life of the process,

@@ -14,6 +14,9 @@ func errSnapshotType(name string, s AllocSnapshot) error {
 	return fmt.Errorf("softalloc: %s: restore of foreign snapshot %T", name, s)
 }
 
+// saStatsBytes is the wire size of the Stats struct (10 counters).
+const saStatsBytes = 10 * 8
+
 // ---- glibc large path ----
 
 type largeSnapshot struct {
@@ -25,6 +28,18 @@ type largeSnapshot struct {
 }
 
 func (*largeSnapshot) allocSnapshot() {}
+
+// Bytes implements AllocSnapshot: bump cursors, the per-order bins, the
+// block and mmap maps, and the counters.
+func (s *largeSnapshot) Bytes() uint64 {
+	b := uint64(2*8) + saStatsBytes
+	for _, vs := range s.bins {
+		b += 8 + uint64(len(vs))*8
+	}
+	b += uint64(len(s.blocks)) * 16
+	b += uint64(len(s.mmapped)) * 9
+	return b
+}
 
 func cloneLarge(l *LargeAlloc) *largeSnapshot {
 	s := &largeSnapshot{
@@ -88,6 +103,27 @@ type pySnapshot struct {
 }
 
 func (*pySnapshot) allocSnapshot() {}
+
+// pyPoolSnapBytes covers one pool's scalars: base, class, objSize,
+// capacity, used, and the two list flags.
+const pyPoolSnapBytes = 5*8 + 2
+
+// Bytes implements AllocSnapshot: the arena/pool graph, the used/free pool
+// lists, the embedded large-path snapshot, and the counters.
+func (s *pySnapshot) Bytes() uint64 {
+	b := s.large.Bytes() + saStatsBytes
+	for _, a := range s.arenas {
+		b += 2 * 8 // base + freePools
+		for _, pl := range a.pools {
+			b += pyPoolSnapBytes + uint64(len(pl.freeList))*2 + uint64(len(pl.allocated))
+		}
+	}
+	for cls := range s.usedPools {
+		b += uint64(len(s.usedPools[cls])) * 8
+	}
+	b += uint64(len(s.freePools)) * 8
+	return b
+}
 
 // clonePyArenas deep-copies the arena/pool graph, returning the clones and
 // the pool identity map used to remap list pointers. Every pool belongs to
@@ -186,6 +222,29 @@ type jeSnapshot struct {
 }
 
 func (*jeSnapshot) allocSnapshot() {}
+
+// jeRunSnapBytes covers one run's scalars: base, class, objSize, capacity,
+// and used.
+const jeRunSnapBytes = 5 * 8
+
+// Bytes implements AllocSnapshot: chunks, the thread cache, the run graph
+// and its indexes, the embedded large-path snapshot, and the counters.
+func (s *jeSnapshot) Bytes() uint64 {
+	b := s.large.Bytes() + saStatsBytes + 8 + 1 // opts + initDone
+	b += uint64(len(s.chunks)) * (3 * 8)
+	for cls := range s.tcache {
+		b += uint64(len(s.tcache[cls])) * 8
+	}
+	for cls := range s.runs {
+		b += uint64(len(s.runs[cls])) * 8
+	}
+	for _, r := range s.runByVA {
+		b += 8 + jeRunSnapBytes + uint64(len(r.freeList))*2
+	}
+	b += uint64(len(s.owner)) * 16
+	b += uint64(len(s.inTcache)) * 8
+	return b
+}
 
 // cloneJERuns deep-copies every carved run (runByVA is the universal set —
 // runs are never destroyed) and returns the clones with the identity map.
@@ -300,6 +359,37 @@ type goSnapshot struct {
 }
 
 func (*goSnapshot) allocSnapshot() {}
+
+// goSpanSnapBytes covers one span's scalars: base, class, objSize,
+// capacity, and used.
+const goSpanSnapBytes = 5 * 8
+
+// Bytes implements AllocSnapshot: arenas, the unique spans reachable from
+// the mcache and owner index, the embedded large-path snapshot, and the
+// counters.
+func (s *goSnapshot) Bytes() uint64 {
+	b := s.large.Bytes() + saStatsBytes + 8 // liveObj
+	b += uint64(len(s.arenas)) * (2 * 8)
+	seen := make(map[*goSpan]struct{})
+	span := func(sp *goSpan) {
+		if _, ok := seen[sp]; ok {
+			return
+		}
+		seen[sp] = struct{}{}
+		b += goSpanSnapBytes + uint64(len(sp.freeList))*2
+	}
+	for cls := range s.mcache {
+		b += uint64(len(s.mcache[cls])) * 8
+		for _, sp := range s.mcache[cls] {
+			span(sp)
+		}
+	}
+	for _, sp := range s.owner {
+		b += 16
+		span(sp)
+	}
+	return b
+}
 
 // goSpanCloner lazily clones spans with identity preserved; the universal
 // span set is the union of the mcache lists and the owner map values.

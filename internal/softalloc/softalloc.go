@@ -79,6 +79,9 @@ type Allocator interface {
 // own concrete type and only accepts its own in Restore.
 type AllocSnapshot interface {
 	allocSnapshot()
+	// Bytes reports the captured state size; software-allocator snapshots
+	// have no shared portion, so a restore copies all of it.
+	Bytes() uint64
 }
 
 // ErrOutOfMemory is returned when the kernel cannot back more memory. It

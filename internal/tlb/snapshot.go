@@ -1,8 +1,24 @@
 package tlb
 
-// Snapshot is a compact deep copy of one TLB level's mutable state.
+import "math/bits"
+
+// Sizes used for byte accounting, fixed by the packed layouts above.
+const (
+	entryBytes = 24 // sizeof(entry): vpnw + pfn + lru
+	mruBytes   = 4  // sizeof(int32)
+	// scalarBytes covers tick, hits, misses.
+	scalarBytes = 3 * 8
+)
+
+// Snapshot is an immutable capture of one TLB level's mutable state.
 // Geometry is immutable configuration and is not captured; a Snapshot may
 // only be restored into a TLB built from the same TLBConfig.
+//
+// Snapshots are delta-aware: the TLB remembers the snapshot it was last
+// captured to or restored from (its base) plus a per-set dirty bitmap, so
+// re-Snapshot of an unchanged TLB returns the same handle (O(1)) and
+// Restore of the base copies back only dirtied sets. Restoring a foreign
+// snapshot falls back to a full copy and rebases onto it.
 //
 // The one-shot fill memo is deliberately NOT captured: it is only valid
 // between a Lookup miss and the Insert that services it, and a snapshot is
@@ -14,46 +30,118 @@ type Snapshot struct {
 	hits, misses uint64
 }
 
+// Bytes returns the full size of the captured state in bytes — the cost of
+// one deep restore, and the denominator for delta-restore savings.
+func (s *Snapshot) Bytes() uint64 {
+	return uint64(len(s.entries))*entryBytes + uint64(len(s.mru))*mruBytes + scalarBytes
+}
+
+// rebase marks the live TLB as bit-identical to s.
+func (t *TLB) rebase(s *Snapshot) {
+	t.base = s
+	t.clean = true
+	for i := range t.dirty {
+		t.dirty[i] = 0
+	}
+}
+
 // Snapshot captures the level's mutable state. The returned value is
-// immutable and may be restored any number of times.
+// immutable and may be restored any number of times. If nothing mutated
+// since the last capture or restore, the existing base snapshot is returned
+// unchanged — an O(1) handle reuse with no copying.
 func (t *TLB) Snapshot() *Snapshot {
-	return &Snapshot{
+	if t.clean && t.base != nil {
+		return t.base
+	}
+	s := &Snapshot{
 		entries: append([]entry(nil), t.entries...),
 		mru:     append([]int32(nil), t.mru...),
 		tick:    t.tick,
 		hits:    t.hits,
 		misses:  t.misses,
 	}
+	t.rebase(s)
+	return s
 }
 
 // Restore replaces the level's state with a copy of s and invalidates the
-// fill memo.
-func (t *TLB) Restore(s *Snapshot) {
+// fill memo. When s is the TLB's base snapshot only the sets dirtied since
+// the base was established are copied back (zero work, zero allocation for
+// a clean TLB); any other snapshot is a full copy-in that rebases the TLB
+// onto it. Returns the number of bytes copied.
+func (t *TLB) Restore(s *Snapshot) uint64 {
+	t.memoOK = false
+	if s == t.base {
+		if t.clean {
+			return 0
+		}
+		var copied uint64
+		setBytes := uint64(t.ways)*entryBytes + mruBytes
+		for wi, word := range t.dirty {
+			for word != 0 {
+				set := uint64(wi)<<6 + uint64(bits.TrailingZeros64(word))
+				word &= word - 1
+				base := int(set) * t.ways
+				copy(t.entries[base:base+t.ways], s.entries[base:base+t.ways])
+				t.mru[set] = s.mru[set]
+				copied += setBytes
+			}
+			t.dirty[wi] = 0
+		}
+		t.tick = s.tick
+		t.hits = s.hits
+		t.misses = s.misses
+		t.clean = true
+		return copied + scalarBytes
+	}
 	t.entries = append(t.entries[:0], s.entries...)
 	t.mru = append(t.mru[:0], s.mru...)
 	t.tick = s.tick
 	t.hits = s.hits
 	t.misses = s.misses
-	t.memoOK = false
+	t.rebase(s)
+	return s.Bytes()
 }
 
-// SystemSnapshot is a deep copy of both TLB levels plus the translation
-// counters.
+// SystemSnapshot captures both TLB levels plus the translation counters.
 type SystemSnapshot struct {
 	l1, l2 *Snapshot
 	stats  Stats
 }
 
-// Snapshot captures both levels and the system statistics.
-func (s *System) Snapshot() *SystemSnapshot {
-	return &SystemSnapshot{l1: s.L1.Snapshot(), l2: s.L2.Snapshot(), stats: s.stats}
+// statsBytes is the wire size of the Stats struct (7 uint64 counters).
+const statsBytes = 7 * 8
+
+// Bytes returns the full captured size across both levels.
+func (s *SystemSnapshot) Bytes() uint64 {
+	return s.l1.Bytes() + s.l2.Bytes() + statsBytes
 }
 
-// Restore replaces the system's state with a copy of snap. The probe
-// attachment is preserved; its cached flag is re-derived.
-func (s *System) Restore(snap *SystemSnapshot) {
-	s.L1.Restore(snap.l1)
-	s.L2.Restore(snap.l2)
+// Snapshot captures both levels and the system statistics. When neither
+// level changed since the previous capture the previous handle is returned.
+func (s *System) Snapshot() *SystemSnapshot {
+	l1, l2 := s.L1.Snapshot(), s.L2.Snapshot()
+	if b := s.base; b != nil && b.l1 == l1 && b.l2 == l2 && b.stats == s.stats {
+		return b
+	}
+	snap := &SystemSnapshot{l1: l1, l2: l2, stats: s.stats}
+	s.base = snap
+	return snap
+}
+
+// Restore replaces the system's state with that of snap, copying only what
+// diverged from each level's base snapshot. The probe attachment is
+// preserved; its cached flag is re-derived. Returns the bytes copied —
+// zero when the system is already exactly in state snap.
+func (s *System) Restore(snap *SystemSnapshot) uint64 {
+	clean := snap == s.base && s.stats == snap.stats
+	copied := s.L1.Restore(snap.l1)
+	copied += s.L2.Restore(snap.l2)
 	s.stats = snap.stats
+	s.base = snap
 	s.probed = s.probe != nil
+	if clean && copied == 0 {
+		return 0
+	}
+	return copied + statsBytes
 }

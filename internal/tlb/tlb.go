@@ -43,6 +43,19 @@ type TLB struct {
 	memoOK       bool
 	hits, misses uint64
 	lat          uint64
+	// Delta-snapshot state: base is the snapshot this TLB's content was last
+	// captured to or restored from, dirty is a per-set bitmap of sets mutated
+	// since then, and clean reports no mutation at all (a Lookup miss bumps
+	// the miss counter without touching any set). See snapshot.go.
+	base  *Snapshot
+	clean bool
+	dirty []uint64
+}
+
+// markDirty records that set's content diverged from the base snapshot.
+func (t *TLB) markDirty(set uint64) {
+	t.dirty[set>>6] |= 1 << (set & 63)
+	t.clean = false
 }
 
 // New builds one TLB level. Entry count is rounded down to a whole number of
@@ -61,6 +74,7 @@ func New(cfg config.TLBConfig) *TLB {
 		mru:     make([]int32, sets),
 		setMask: uint64(sets - 1),
 		lat:     cfg.LatencyCycles,
+		dirty:   make([]uint64, (sets+63)/64),
 	}
 }
 
@@ -86,11 +100,15 @@ func (t *TLB) Lookup(vpn uint64) (pfn uint64, ok bool) {
 	ways := t.waysOf(set)
 	want := vpn | validBit
 	t.memoOK = false
+	// Every Lookup mutates either the hit or the miss counter, so the TLB
+	// diverges from its base snapshot even when no set content changes.
+	t.clean = false
 	// MRU fast path: skip the way scan when the last-used entry hits again.
 	if e := &ways[t.mru[set]]; e.vpnw == want {
 		t.tick++
 		e.lru = t.tick
 		t.hits++
+		t.dirty[set>>6] |= 1 << (set & 63)
 		return e.pfn, true
 	}
 	// Miss scans track the victim Insert would pick (mirroring its loop
@@ -103,6 +121,7 @@ func (t *TLB) Lookup(vpn uint64) (pfn uint64, ok bool) {
 			e.lru = t.tick
 			t.hits++
 			t.mru[set] = int32(i)
+			t.dirty[set>>6] |= 1 << (set & 63)
 			return e.pfn, true
 		}
 		if e.vpnw&validBit == 0 {
@@ -123,6 +142,7 @@ func (t *TLB) Insert(vpn, pfn uint64) {
 	set := t.setOf(vpn)
 	ways := t.waysOf(set)
 	t.tick++
+	t.markDirty(set)
 	want := vpn | validBit
 	// Fill-memo fast path: the immediately preceding Lookup missed this very
 	// vpn and already picked the victim way; nothing has mutated since.
@@ -163,6 +183,7 @@ func (t *TLB) InvalidatePage(vpn uint64) {
 	for i := range ways {
 		if ways[i].vpnw == want {
 			ways[i] = entry{}
+			t.markDirty(set)
 		}
 	}
 }
@@ -173,6 +194,13 @@ func (t *TLB) Flush() {
 	for i := range t.entries {
 		t.entries[i] = entry{}
 	}
+	// Every set changed; mark only real set indices so the delta-restore
+	// walk never sees a phantom set (set counts below 64 leave the tail of
+	// the last bitmap word permanently clear).
+	for s := range t.mru {
+		t.dirty[s>>6] |= 1 << (uint(s) & 63)
+	}
+	t.clean = false
 }
 
 // Hits and Misses expose raw counters.
@@ -244,6 +272,9 @@ func (s Stats) Counters() telemetry.TLBCounters {
 type System struct {
 	L1, L2 *TLB
 	stats  Stats
+	// base is the system-level snapshot handle reused while neither level
+	// changes (see snapshot.go).
+	base *SystemSnapshot
 	// probe, when non-nil, observes walks and shootdowns. probed caches the
 	// attachment state so the hot path tests one byte, not an interface.
 	probe  telemetry.Probe

@@ -108,6 +108,13 @@ func WarmStartsExperiment(s *experiments.Suite) (Experiment, error) {
 	return experiments.WarmStarts(s)
 }
 
+// WarmBytesExperiment reports, per workload and stack, the full checkpoint
+// size against the bytes a steady-state warm restore actually copies (the
+// delta) — the second `cmd/experiments -warm` table.
+func WarmBytesExperiment(s *experiments.Suite) (Experiment, error) {
+	return experiments.WarmBytes(s)
+}
+
 // RunAllExperiments regenerates every table and figure of the paper's
 // evaluation (Figs 2-3 and Table 1 from traces; Table 2 and Figs 8-14 plus
 // the Section 6.6/6.7 studies from full simulations).

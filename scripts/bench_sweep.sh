@@ -13,8 +13,10 @@
 #
 # When the output file already exists, each benchmark's previous mean is
 # carried into the new file's delta_vs_previous field ((new-old)/old;
-# negative = faster). Files from the old single-benchmark format are read
-# the same way.
+# negative = faster; omitted rather than NaN when no valid previous mean
+# exists). Files from the old single-benchmark format are read the same
+# way. min_ns_per_op records the fastest sample — the noise-robust number
+# to compare across runs on shared hosts.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -59,7 +61,11 @@ awk -v prevfile="$PREV" '
       name = order[j]
       n = cnt[name]
       sum = 0
-      for (i = 0; i < n; i++) sum += ns[name, i]
+      min = ns[name, 0] + 0
+      for (i = 0; i < n; i++) {
+        sum += ns[name, i]
+        if (ns[name, i] + 0 < min) min = ns[name, i] + 0
+      }
       mean = sum / n
       printf "    {\n"
       printf "      \"benchmark\": \"%s\",\n", name
@@ -68,7 +74,8 @@ awk -v prevfile="$PREV" '
       for (i = 0; i < n; i++) printf "%s%s", ns[name, i], (i < n-1 ? ", " : "")
       printf "],\n"
       printf "      \"mean_ns_per_op\": %.0f,\n", mean
-      if (name in prevmean && prevmean[name] > 0) {
+      printf "      \"min_ns_per_op\": %.0f,\n", min
+      if (name in prevmean && prevmean[name] + 0 > 0 && mean == mean) {
         printf "      \"delta_vs_previous\": %.4f,\n", (mean - prevmean[name]) / prevmean[name]
       }
       printf "      \"mean_seconds\": %.3f\n", mean / 1e9
