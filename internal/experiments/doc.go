@@ -1,0 +1,31 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 6) plus the Section 2.2 characterization, printing
+// paper-reported values next to measured ones so reproduction drift is
+// always visible.
+//
+// # Invariants
+//
+// Determinism: every number this package produces is a pure function of
+// the config.Machine it was given. Trace generation is seeded per
+// workload, the sweep's worker pool only reorders work, never results
+// (results land in profile order), and nothing reads clocks, math/rand
+// global state, or the environment. Two runs — including under -race —
+// render byte-identical output.
+//
+// Golden coupling: the rendered experiments are pinned byte-for-byte by
+// experiments_output.txt (TestExperimentsGolden), and the extractor
+// functions in metrics.go feed the internal/validate target registry
+// that generates EXPERIMENTS.md (TestExperimentsMDGolden). Any change to
+// simulator timing, trace composition, or table formatting must
+// regenerate both:
+//
+//	go run ./cmd/experiments > experiments_output.txt
+//	go run ./cmd/validate -md > EXPERIMENTS.md
+//
+// Exported surface: Suite and its memoized sweeps (Pairs, ColdStarts,
+// MallaccRuns) are the shared measurement cache — figures and validation
+// targets read the same runs, so a figure and its scorecard row cannot
+// disagree. Metric carries a value plus the per-workload samples a
+// bootstrap CI is computed from; extractors return Metric rather than
+// bare floats so callers keep that provenance.
+package experiments

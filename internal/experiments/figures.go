@@ -222,6 +222,21 @@ func Fig13ArenaListOps(s *Suite) (Experiment, error) {
 	return e, nil
 }
 
+// fig14Model builds the Section 6.5 AWS pricing model for the suite's
+// machine.
+func fig14Model(s *Suite) pricing.Model { return pricing.AWS(s.Cfg.ClockGHz) }
+
+// fig14Price prices one run under the model. The miniature traces stand
+// for functions ~100x larger (Section 5's functions run sub-second to
+// seconds). Durations are scaled back up for pricing so the fixed
+// per-invocation fee keeps its real-world proportion to the runtime cost;
+// the runtime-price *ratio* is insensitive to the factor.
+func fig14Price(model pricing.Model, r machine.Result) (runtimeUSD, endToEndUSD float64) {
+	const scale = 100
+	memBytes := r.PeakResidentPages * 4096 * scale
+	return model.RuntimeUSD(r.Cycles*scale, memBytes), model.EndToEndUSD(r.Cycles*scale, memBytes)
+}
+
 // Fig14Pricing reproduces Fig 14 / Section 6.5: normalized function
 // runtime pricing under the AWS model, plus the end-to-end cost including
 // the per-invocation fee.
@@ -232,31 +247,15 @@ func Fig14Pricing(s *Suite) (Experiment, error) {
 		Paper:  "runtime cost -29% on average; end-to-end (with per-invocation fee) up to -31%, -11% average",
 		Header: []string{"workload", "runtime price ratio", "end-to-end ratio"},
 	}
-	pairs, err := s.Pairs()
+	rows, err := fig14Ratios(s)
 	if err != nil {
 		return e, err
 	}
-	model := pricing.AWS(s.Cfg.ClockGHz)
-	// The miniature traces stand for functions ~100x larger (Section 5's
-	// functions run sub-second to seconds). Durations are scaled back up
-	// for pricing so the fixed per-invocation fee keeps its real-world
-	// proportion to the runtime cost; the runtime-price *ratio* is
-	// insensitive to the factor.
-	const scale = 100
-	price := func(r machine.Result) (float64, float64) {
-		memBytes := r.PeakResidentPages * 4096 * scale
-		return model.RuntimeUSD(r.Cycles*scale, memBytes), model.EndToEndUSD(r.Cycles*scale, memBytes)
-	}
 	var ratios, e2es []float64
-	for _, prof := range workload.ByClass(workload.Function) {
-		p := pairs[prof.Name]
-		bR, bE := price(p.Base)
-		mR, mE := price(p.Mem)
-		ratio := stats.SafeDiv(mR, bR)
-		e2e := stats.SafeDiv(mE, bE)
-		ratios = append(ratios, ratio)
-		e2es = append(e2es, e2e)
-		e.Rows = append(e.Rows, []string{prof.Name, f3(ratio), f3(e2e)})
+	for _, r := range rows {
+		ratios = append(ratios, r.Runtime)
+		e2es = append(e2es, r.E2E)
+		e.Rows = append(e.Rows, []string{r.Name, f3(r.Runtime), f3(r.E2E)})
 	}
 	e.Rows = append(e.Rows, []string{"func-avg", f3(stats.Mean(ratios)), f3(stats.Mean(e2es))})
 	e.Notes = append(e.Notes,

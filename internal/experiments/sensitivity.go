@@ -6,7 +6,6 @@ import (
 
 	"memento/internal/config"
 	"memento/internal/machine"
-	"memento/internal/mallacc"
 	"memento/internal/softalloc"
 	"memento/internal/stats"
 	"memento/internal/trace"
@@ -205,20 +204,14 @@ func SensitivityColdStart(s *Suite) (Experiment, error) {
 		Paper:  "with cold starts Memento still gains 7-22%",
 		Header: []string{"workload", "warm speedup", "cold speedup"},
 	}
-	pairs, err := s.Pairs()
+	runs, err := s.ColdStarts()
 	if err != nil {
 		return e, err
 	}
 	var colds []float64
-	for _, prof := range workload.ByClass(workload.Function) {
-		p := pairs[prof.Name]
-		base, mem, err := machine.RunPair(s.Cfg, p.Trace, machine.Options{ColdStart: true})
-		if err != nil {
-			return e, err
-		}
-		cold := machine.Speedup(base, mem)
-		colds = append(colds, cold)
-		e.Rows = append(e.Rows, []string{prof.Name, f3(p.Speedup()), f3(cold)})
+	for _, r := range runs {
+		colds = append(colds, r.Cold)
+		e.Rows = append(e.Rows, []string{r.Name, f3(r.Warm), f3(r.Cold)})
 	}
 	lo, hi := stats.MinMax(colds)
 	e.Notes = append(e.Notes, fmt.Sprintf("cold-start speedups span %.1f%%-%.1f%% (paper: 7%%-22%%)", 100*(lo-1), 100*(hi-1)))
@@ -234,15 +227,15 @@ func MallaccComparison(s *Suite) (Experiment, error) {
 		Paper:  "idealized Mallacc 5-10% (avg 8%); Memento 12-20% (avg 16%)",
 		Header: []string{"workload", "mallacc speedup", "memento speedup"},
 	}
+	runs, err := s.MallaccRuns()
+	if err != nil {
+		return e, err
+	}
 	var ms, mems []float64
-	for _, prof := range workload.ByLanguage(workload.Function, trace.Cpp) {
-		c, err := mallacc.Run(s.Cfg, s.genTrace(prof))
-		if err != nil {
-			return e, err
-		}
-		ms = append(ms, c.MallaccSpeedup())
-		mems = append(mems, c.MementoSpeedup())
-		e.Rows = append(e.Rows, []string{prof.Name, f3(c.MallaccSpeedup()), f3(c.MementoSpeedup())})
+	for _, r := range runs {
+		ms = append(ms, r.Mallacc)
+		mems = append(mems, r.Memento)
+		e.Rows = append(e.Rows, []string{r.Name, f3(r.Mallacc), f3(r.Memento)})
 	}
 	e.Rows = append(e.Rows, []string{"average", f3(stats.Mean(ms)), f3(stats.Mean(mems))})
 	return e, nil

@@ -1,7 +1,3 @@
-// Package experiments regenerates every table and figure of the paper's
-// evaluation (Section 6) plus the Section 2.2 characterization, printing
-// paper-reported values next to measured ones so reproduction drift is
-// always visible.
 package experiments
 
 import (
@@ -53,6 +49,35 @@ type Suite struct {
 	once  sync.Once
 	pairs map[string]*Pair
 	err   error
+
+	// coldOnce/mallaccOnce memoize the §6.6 cold-start and §6.7 Mallacc
+	// sweeps so the figure renderers and the validation extractors
+	// (internal/validate) share one deterministic measurement set.
+	coldOnce sync.Once
+	colds    []ColdRun
+	coldErr  error
+
+	mallaccOnce sync.Once
+	mallaccs    []MallaccRun
+	mallaccErr  error
+}
+
+// ColdRun is one function workload's warm-vs-cold speedup pair from the
+// §6.6 cold-start study.
+type ColdRun struct {
+	Name string
+	// Warm is the Fig 8 speedup (setup off the critical path).
+	Warm float64
+	// Cold is the speedup with container setup on the critical path.
+	Cold float64
+}
+
+// MallaccRun is one DeathStarBench workload's idealized-Mallacc vs
+// Memento speedup pair from the §6.7 comparison.
+type MallaccRun struct {
+	Name    string
+	Mallacc float64
+	Memento float64
 }
 
 // SuiteOption configures a Suite, the way RunOption configures a Runner.

@@ -1,0 +1,35 @@
+// Package fleet is the cluster-scale layer of the reproduction: a
+// discrete-event simulator that schedules serverless invocation traces
+// (Poisson, bursty, diurnal arrival patterns over the benchmark workloads)
+// across a pool of simulated hosts with pluggable placement and
+// keep-warm/eviction policies.
+//
+// The per-invocation costs come from the machine layer underneath: the
+// default backend builds one warm-start checkpoint per (workload, stack)
+// with machine.PrepareWarm and measures a restored run, so a warm hit in
+// the fleet prices exactly what the snapshot cache saves, and a cold miss
+// pays the measured container-plus-setup cost. The paper evaluates Memento
+// one instance at a time; this package asks its fleet-level question —
+// how much of the ephemeral-memory churn across thousands of concurrent
+// invocations do cold-start fraction and keep-warm policy decide — the
+// scale the vHive snapshot study and Squeezy target.
+//
+// # Invariants
+//
+// Determinism: arrivals come from an explicitly seeded local rand.Source
+// (never the global one), the event queue breaks ties on (time, seq), and
+// the cost backend memoizes machine runs — the same Fleet configuration
+// always produces the same Result, including under -race. Nothing reads
+// clocks or ambient randomness.
+//
+// Golden coupling: the 18-row pattern x policy x stack study is pinned
+// byte-for-byte by experiments_fleet_output.txt
+// (TestExperimentsFleetGolden); regenerate after an intentional change
+// with:
+//
+//	go run ./cmd/experiments -fleet > experiments_fleet_output.txt
+//
+// Exported surface: Fleet, Arrivals, the Policy/Backend/Probe interfaces,
+// and Result are consumed by cmd/fleet and internal/experiments; keep
+// them stable or update both callers and the golden in the same change.
+package fleet

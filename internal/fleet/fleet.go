@@ -1,18 +1,3 @@
-// Package fleet is the cluster-scale layer of the reproduction: a
-// discrete-event simulator that schedules serverless invocation traces
-// (Poisson, bursty, diurnal arrival patterns over the benchmark workloads)
-// across a pool of simulated hosts with pluggable placement and
-// keep-warm/eviction policies.
-//
-// The per-invocation costs come from the machine layer underneath: the
-// default backend builds one warm-start checkpoint per (workload, stack)
-// with machine.PrepareWarm and measures a restored run, so a warm hit in
-// the fleet prices exactly what the snapshot cache saves, and a cold miss
-// pays the measured container-plus-setup cost. The paper evaluates Memento
-// one instance at a time; this package asks its fleet-level question —
-// how much of the ephemeral-memory churn across thousands of concurrent
-// invocations do cold-start fraction and keep-warm policy decide — the
-// scale the vHive snapshot study and Squeezy target.
 package fleet
 
 import (

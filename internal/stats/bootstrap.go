@@ -1,0 +1,109 @@
+package stats
+
+import "math"
+
+// CI is a two-sided confidence interval for a mean estimate.
+type CI struct {
+	// Point is the plug-in estimate the interval is centered on (the
+	// sample mean).
+	Point float64 `json:"point"`
+	// Lo and Hi bound the interval, Lo <= Point <= Hi.
+	Lo float64 `json:"lo"`
+	Hi float64 `json:"hi"`
+	// Level is the nominal coverage in (0,1), e.g. 0.95.
+	Level float64 `json:"level"`
+	// Resamples records how many bootstrap replicates produced the
+	// interval (0 for degenerate inputs).
+	Resamples int `json:"resamples"`
+}
+
+// Width returns Hi - Lo.
+func (ci CI) Width() float64 { return ci.Hi - ci.Lo }
+
+// Contains reports whether v lies inside the (closed) interval.
+func (ci CI) Contains(v float64) bool { return v >= ci.Lo && v <= ci.Hi }
+
+// Resampler is a deterministic splitmix64 pseudo-random stream. It exists
+// so bootstrap resampling never touches the math/rand global: the sequence
+// is a pure function of the seed, bit-identical across runs, platforms,
+// and the race detector.
+type Resampler struct {
+	state uint64
+}
+
+// NewResampler returns a stream seeded with seed.
+func NewResampler(seed uint64) *Resampler { return &Resampler{state: seed} }
+
+// next advances the splitmix64 state (Steele, Lea, Flood 2014).
+func (r *Resampler) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a draw in [0, n). n must be positive; non-positive n
+// returns 0. The draw maps the 64-bit output by modulo — the bias is
+// below 2^-50 for the sample counts this repository bootstraps (tens of
+// workloads) and keeping the mapping trivial keeps the stream contract
+// easy to reason about.
+func (r *Resampler) Intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.next() % uint64(n))
+}
+
+// BootstrapMeanCI computes a moment-method (normal-interval) bootstrap
+// confidence interval for the mean of samples: it draws `resamples`
+// bootstrap replicates of the sample mean from a Resampler seeded with
+// seed, estimates the standard error from the replicates' first two
+// moments, and returns Point ± z(level) * se. The interval is a pure,
+// deterministic function of (samples, level, resamples, seed).
+//
+// Degenerate inputs never panic: an empty sample set returns a zero
+// interval, a single sample (or zero bootstrap variance) returns a
+// zero-width interval at the point estimate, and out-of-range levels are
+// clamped to 0.95. A non-positive resample count selects the default 2000.
+func BootstrapMeanCI(samples []float64, level float64, resamples int, seed uint64) CI {
+	if level <= 0 || level >= 1 || math.IsNaN(level) {
+		level = 0.95
+	}
+	if resamples <= 0 {
+		resamples = 2000
+	}
+	n := len(samples)
+	if n == 0 {
+		return CI{Level: level}
+	}
+	point := Mean(samples)
+	if n == 1 {
+		return CI{Point: point, Lo: point, Hi: point, Level: level}
+	}
+	r := NewResampler(seed)
+	var sum, sumSq float64
+	for b := 0; b < resamples; b++ {
+		var s float64
+		for i := 0; i < n; i++ {
+			s += samples[r.Intn(n)]
+		}
+		m := s / float64(n)
+		sum += m
+		sumSq += m * m
+	}
+	bn := float64(resamples)
+	variance := sumSq/bn - (sum/bn)*(sum/bn)
+	if variance < 0 { // floating-point cancellation on near-constant samples
+		variance = 0
+	}
+	se := math.Sqrt(variance)
+	z := math.Sqrt2 * math.Erfinv(level)
+	return CI{
+		Point:     point,
+		Lo:        point - z*se,
+		Hi:        point + z*se,
+		Level:     level,
+		Resamples: resamples,
+	}
+}

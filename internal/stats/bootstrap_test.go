@@ -1,0 +1,110 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBootstrapDeterminism(t *testing.T) {
+	samples := []float64{1.093, 1.151, 1.248, 1.16, 1.12, 1.14, 1.08, 1.13}
+	a := BootstrapMeanCI(samples, 0.95, 2000, 42)
+	b := BootstrapMeanCI(samples, 0.95, 2000, 42)
+	// Bit-identical, not approximately equal: the resampler is a pure
+	// function of the seed and the accumulation order is fixed. This is
+	// the contract EXPERIMENTS.md's golden relies on, and it must hold
+	// under -race too (this test runs in the race CI job).
+	if a != b {
+		t.Fatalf("bootstrap CI not deterministic:\n  first  %+v\n  second %+v", a, b)
+	}
+	if math.Float64bits(a.Lo) != math.Float64bits(b.Lo) || math.Float64bits(a.Hi) != math.Float64bits(b.Hi) {
+		t.Fatalf("bootstrap CI bounds differ at the bit level: %+v vs %+v", a, b)
+	}
+}
+
+func TestBootstrapSeedSensitivity(t *testing.T) {
+	samples := []float64{1.0, 2.0, 3.0, 4.0, 5.0}
+	a := BootstrapMeanCI(samples, 0.95, 2000, 1)
+	b := BootstrapMeanCI(samples, 0.95, 2000, 2)
+	if a.Lo == b.Lo && a.Hi == b.Hi {
+		t.Fatalf("different seeds produced identical intervals %+v — resampler ignores seed", a)
+	}
+	if a.Point != b.Point {
+		t.Fatalf("point estimate must not depend on the seed: %v vs %v", a.Point, b.Point)
+	}
+}
+
+func TestBootstrapDegenerateInputs(t *testing.T) {
+	if ci := BootstrapMeanCI(nil, 0.95, 100, 7); ci.Point != 0 || ci.Lo != 0 || ci.Hi != 0 {
+		t.Fatalf("empty input: want zero interval, got %+v", ci)
+	}
+	if ci := BootstrapMeanCI([]float64{3.5}, 0.95, 100, 7); ci.Lo != 3.5 || ci.Hi != 3.5 || ci.Point != 3.5 {
+		t.Fatalf("single sample: want zero-width interval at the point, got %+v", ci)
+	}
+	constant := []float64{2, 2, 2, 2}
+	if ci := BootstrapMeanCI(constant, 0.95, 100, 7); ci.Lo != 2 || ci.Hi != 2 {
+		t.Fatalf("constant samples: want zero-width interval, got %+v", ci)
+	}
+	// Out-of-range level and resamples fall back to defaults rather than
+	// panicking or producing NaN bounds.
+	ci := BootstrapMeanCI([]float64{1, 2, 3}, -1, -5, 7)
+	if ci.Level != 0.95 || ci.Resamples != 2000 {
+		t.Fatalf("defaults not applied: %+v", ci)
+	}
+	if math.IsNaN(ci.Lo) || math.IsNaN(ci.Hi) {
+		t.Fatalf("NaN bounds from defaulted inputs: %+v", ci)
+	}
+}
+
+func TestBootstrapCoversMeanAndOrdersLevels(t *testing.T) {
+	samples := []float64{1.093, 1.10, 1.12, 1.13, 1.14, 1.16, 1.20, 1.248}
+	ci95 := BootstrapMeanCI(samples, 0.95, 2000, 9)
+	if !ci95.Contains(ci95.Point) {
+		t.Fatalf("interval %+v does not contain its own point estimate", ci95)
+	}
+	if ci95.Lo > ci95.Hi {
+		t.Fatalf("inverted interval: %+v", ci95)
+	}
+	ci99 := BootstrapMeanCI(samples, 0.99, 2000, 9)
+	if ci99.Width() <= ci95.Width() {
+		t.Fatalf("99%% interval (%v) not wider than 95%% (%v)", ci99.Width(), ci95.Width())
+	}
+}
+
+func TestResamplerIntnBounds(t *testing.T) {
+	r := NewResampler(123)
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(8)
+		if v < 0 || v >= 8 {
+			t.Fatalf("Intn(8) out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 8 {
+		t.Fatalf("Intn(8) over 1000 draws hit only %d of 8 values", len(seen))
+	}
+	if v := r.Intn(0); v != 0 {
+		t.Fatalf("Intn(0) = %d, want 0", v)
+	}
+	if v := r.Intn(-3); v != 0 {
+		t.Fatalf("Intn(-3) = %d, want 0", v)
+	}
+}
+
+func TestCIContains(t *testing.T) {
+	ci := CI{Point: 1.15, Lo: 1.1, Hi: 1.2, Level: 0.95}
+	for _, tc := range []struct {
+		v    float64
+		want bool
+	}{
+		{1.1, true},  // closed at the lower bound
+		{1.2, true},  // closed at the upper bound
+		{1.15, true}, // interior
+		{1.0999999, false},
+		{1.2000001, false},
+	} {
+		if got := ci.Contains(tc.v); got != tc.want {
+			t.Errorf("Contains(%v) = %v, want %v", tc.v, got, tc.want)
+		}
+	}
+}

@@ -1,5 +1,3 @@
-// Package stats provides the histogram and counter utilities used by the
-// workload characterization (Figs 2-3, Table 1) and the experiment harness.
 package stats
 
 import (

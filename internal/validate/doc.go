@@ -1,0 +1,39 @@
+// Package validate turns the paper's headline numbers into a
+// machine-checkable scorecard. A declarative registry (Targets) names
+// every quantitative claim the reproduction tracks — the Section 2.2
+// characterization (Figs 2/3, Tables 1/2), the Section 6 evaluation
+// (Figs 8-14), and the §6.1/§6.6/§6.7 studies — each with the paper's
+// value, a tolerance band, and an extractor that pulls the measured value
+// out of a shared experiments.Suite. Evaluate turns a target plus its
+// measurement into a Verdict; Run produces the full Scorecard that
+// cmd/validate prints, writes as validate_scorecard.json, and gates CI
+// with.
+//
+// Invariants:
+//
+//   - Determinism. Extractors read the deterministic experiment sweep and
+//     confidence intervals come from stats.BootstrapMeanCI with a seed
+//     derived from the target ID (FNV-1a), so the same tree produces a
+//     bit-identical scorecard — and bit-identical EXPERIMENTS.md — on
+//     every run, including under -race.
+//
+//   - Golden coupling. WriteExperimentsMD renders EXPERIMENTS.md from this
+//     registry; TestExperimentsMDGolden pins the checked-in file against
+//     the generator, so the prose document and the CI gate can never
+//     disagree. Editing EXPERIMENTS.md by hand fails the golden;
+//     regenerate with `go run ./cmd/validate -md > EXPERIMENTS.md`.
+//
+//   - Tolerance policy. A Point target passes when the measured value is
+//     inside the wider of its absolute and relative bands (closed
+//     boundaries); UpperBound/LowerBound targets compare one-sided with
+//     the absolute band as slack. Scale-sensitive targets — quantities
+//     that divide a Memento-fixed cost by a baseline cost that grows with
+//     workload scale — are reported with the same machinery but never
+//     gate: their divergence is a property of the 1/100 miniature traces,
+//     not of the model, and each carries a note explaining the regime.
+//
+//   - Exported-surface stability. Target, Verdict, Scorecard, and the
+//     wire form written by WriteJSON are consumed by cmd/validate, the
+//     root golden test, and CI tooling; field renames are breaking
+//     changes to validate_scorecard.json consumers.
+package validate

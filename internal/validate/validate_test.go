@@ -1,0 +1,325 @@
+package validate
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"memento/internal/experiments"
+)
+
+// metric builds a Metric with an explicit value and optional samples.
+func metric(v float64, samples ...float64) experiments.Metric {
+	return experiments.Metric{Value: v, Samples: samples}
+}
+
+func TestEvaluateToleranceBands(t *testing.T) {
+	cases := []struct {
+		name     string
+		kind     Kind
+		paper    float64
+		tol      Tolerance
+		measured float64
+		wantPass bool
+	}{
+		// Point targets: closed boundaries.
+		{"point-interior", Point, 1.16, Tolerance{Abs: 0.03}, 1.151, true},
+		// Boundary cases use binary-exact values (1.0 ± 0.25) so the
+		// closed-boundary (<=) semantics are what is under test, not
+		// decimal-to-binary rounding of the literals.
+		{"point-exact-upper-boundary", Point, 1.0, Tolerance{Abs: 0.25}, 1.25, true},
+		{"point-exact-lower-boundary", Point, 1.0, Tolerance{Abs: 0.25}, 0.75, true},
+		{"point-just-outside-upper", Point, 1.0, Tolerance{Abs: 0.25}, 1.2501, false},
+		{"point-just-outside-lower", Point, 1.0, Tolerance{Abs: 0.25}, 0.7499, false},
+		// Relative bands: half-width is Rel*|paper|.
+		{"rel-inside", Point, 2.0, Tolerance{Rel: 0.25}, 2.4, true},
+		{"rel-boundary", Point, 2.0, Tolerance{Rel: 0.25}, 2.5, true},
+		{"rel-outside", Point, 2.0, Tolerance{Rel: 0.25}, 2.5001, false},
+		// Abs and Rel together: the wider band wins.
+		{"abs-wider-than-rel", Point, 0.1, Tolerance{Abs: 0.05, Rel: 0.1}, 0.14, true},
+		{"rel-wider-than-abs", Point, 10, Tolerance{Abs: 0.05, Rel: 0.1}, 10.9, true},
+		{"both-outside", Point, 10, Tolerance{Abs: 0.05, Rel: 0.01}, 10.2, false},
+		// Relative band against a zero paper value is zero-width: only an
+		// exact match passes (the registry must use Abs there).
+		{"rel-zero-paper-exact", Point, 0, Tolerance{Rel: 0.5}, 0, true},
+		{"rel-zero-paper-off", Point, 0, Tolerance{Rel: 0.5}, 0.0001, false},
+		// Zero tolerance requires exact equality.
+		{"zero-tol-exact", Point, 1.5, Tolerance{}, 1.5, true},
+		{"zero-tol-off", Point, 1.5, Tolerance{}, 1.5000001, false},
+		// Bounds are one-sided with Abs as slack; boundary included.
+		{"upper-inside", UpperBound, 0.01, Tolerance{}, 0.007, true},
+		{"upper-boundary", UpperBound, 0.01, Tolerance{}, 0.01, true},
+		{"upper-outside", UpperBound, 0.01, Tolerance{}, 0.0101, false},
+		{"upper-with-slack", UpperBound, 0.01, Tolerance{Abs: 0.005}, 0.014, true},
+		{"lower-inside", LowerBound, 1.08, Tolerance{Abs: 0.02}, 1.07, true},
+		{"lower-boundary", LowerBound, 1.08, Tolerance{Abs: 0.02}, 1.06, true},
+		{"lower-outside", LowerBound, 1.08, Tolerance{Abs: 0.02}, 1.0599, false},
+		// NaN/Inf measured values always fail, never pass silently.
+		{"nan-fails-point", Point, 1.0, Tolerance{Abs: 100}, math.NaN(), false},
+		{"inf-fails-upper", UpperBound, math.Inf(1), Tolerance{}, math.Inf(1), false},
+		{"nan-fails-lower", LowerBound, -1000, Tolerance{Abs: 1000}, math.NaN(), false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tgt := Target{ID: "t-" + tc.name, Kind: tc.kind, PaperValue: tc.paper, Tolerance: tc.tol}
+			v := Evaluate(tgt, metric(tc.measured))
+			if v.Pass != tc.wantPass {
+				t.Fatalf("Evaluate(paper=%v tol=%+v kind=%v, measured=%v): pass=%v, want %v (reason %q)",
+					tc.paper, tc.tol, tc.kind, tc.measured, v.Pass, tc.wantPass, v.Reason)
+			}
+			if !v.Pass && v.Reason == "" {
+				t.Fatalf("failed verdict carries no reason")
+			}
+		})
+	}
+}
+
+// TestEvaluateZeroBaselineGuard pins the division-free tolerance design:
+// a zero paper value with only a relative band cannot be satisfied by
+// anything but exactness, and the extractors' SafeDiv-produced zeros
+// evaluate without NaN.
+func TestEvaluateZeroBaselineGuard(t *testing.T) {
+	tgt := Target{ID: "zero-rel", PaperValue: 0, Tolerance: Tolerance{Rel: 0.2}}
+	if v := Evaluate(tgt, metric(0.05)); v.Pass {
+		t.Fatalf("relative-only band around paper=0 must be zero-width, got pass: %+v", v)
+	}
+	if v := Evaluate(tgt, metric(0)); !v.Pass {
+		t.Fatalf("exact zero against paper=0 must pass: %+v", v)
+	}
+}
+
+func TestEvaluateCIDeterministicAndSeeded(t *testing.T) {
+	tgt := Target{ID: "fig8-func-avg", Unit: UnitSpeedup, PaperValue: 1.16, Tolerance: Tolerance{Abs: 0.03}}
+	m := metric(1.151, 1.093, 1.10, 1.12, 1.13, 1.14, 1.16, 1.20, 1.248)
+	a := Evaluate(tgt, m)
+	b := Evaluate(tgt, m)
+	if a.CI == nil || b.CI == nil {
+		t.Fatal("sampled metric must carry a CI")
+	}
+	if *a.CI != *b.CI {
+		t.Fatalf("CI not deterministic across evaluations: %+v vs %+v", *a.CI, *b.CI)
+	}
+	// A different target ID reseeds the resampler: same samples, same
+	// point, different (but still deterministic) interval.
+	other := tgt
+	other.ID = "fig8-data-avg"
+	c := Evaluate(other, m)
+	if c.CI.Point != a.CI.Point {
+		t.Fatalf("point estimate must not depend on the target ID")
+	}
+	if *c.CI == *a.CI {
+		t.Fatalf("distinct target IDs produced identical bootstrap draws — seed derivation is broken")
+	}
+	// Bounds and single samples carry no CI.
+	if v := Evaluate(tgt, metric(1.2)); v.CI != nil {
+		t.Fatalf("sample-free metric must not carry a CI: %+v", v.CI)
+	}
+	if v := Evaluate(tgt, metric(1.2, 1.19, 1.21)); v.CI == nil {
+		t.Fatalf("two samples are enough to bootstrap")
+	}
+}
+
+// TestScorecardPerturbation drives the exit-status contract end to end on
+// a fake registry: an in-band target passes the scorecard, perturbing its
+// measured value out of band fails it, and scale-sensitive targets never
+// gate however far off they drift.
+func TestScorecardPerturbation(t *testing.T) {
+	mk := func(measured float64, scaleSensitive bool) []Target {
+		return []Target{{
+			ID: "fake-speedup", Group: GroupEvaluation, Section: "§test",
+			Claim: "a fake claim", Unit: UnitSpeedup,
+			PaperValue: 1.16, Tolerance: Tolerance{Abs: 0.03},
+			ScaleSensitive: scaleSensitive,
+			Extract: func(*experiments.Suite) (experiments.Metric, error) {
+				return metric(measured, measured-0.01, measured+0.01), nil
+			},
+		}}
+	}
+	sc, err := runTargets(nil, mk(1.151, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sc.Pass() {
+		t.Fatalf("in-band target must pass: %+v", sc.Verdicts[0])
+	}
+	perturbed, err := runTargets(nil, mk(1.151*1.05, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perturbed.Pass() {
+		t.Fatalf("perturbed target must fail the scorecard: %+v", perturbed.Verdicts[0])
+	}
+	if _, _, _, failed, _ := perturbed.Counts(); failed != 1 {
+		t.Fatalf("want 1 failed gating target, got %d", failed)
+	}
+	info, err := runTargets(nil, mk(2.5, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Pass() {
+		t.Fatalf("scale-sensitive target must never gate: %+v", info.Verdicts[0])
+	}
+	if _, gating, _, _, infoN := info.Counts(); gating != 0 || infoN != 1 {
+		t.Fatalf("want 0 gating / 1 informational, got %d/%d", gating, infoN)
+	}
+	if !strings.Contains(info.Summary(), "0/0") {
+		t.Fatalf("summary mislabels informational-only scorecard: %q", info.Summary())
+	}
+}
+
+func TestScorecardJSONWireForm(t *testing.T) {
+	tgt := Target{
+		ID: "fig8-func-avg", Group: GroupEvaluation, Section: "§6.2 Fig 8",
+		Claim: "functions average a 16% speedup", Unit: UnitSpeedup,
+		PaperValue: 1.16, Tolerance: Tolerance{Abs: 0.03},
+		Note: "a note",
+	}
+	sc := Scorecard{Verdicts: []Verdict{Evaluate(tgt, metric(1.151, 1.1, 1.2))}}
+	var buf bytes.Buffer
+	if err := sc.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("scorecard JSON does not parse: %v", err)
+	}
+	summary := doc["summary"].(map[string]any)
+	if summary["pass"] != true || summary["gating"].(float64) != 1 {
+		t.Fatalf("summary wrong: %v", summary)
+	}
+	rows := doc["targets"].([]any)
+	row := rows[0].(map[string]any)
+	for _, key := range []string{"id", "section", "claim", "unit", "kind", "paper", "tolerance", "measured", "ci", "pass", "gating"} {
+		if _, ok := row[key]; !ok {
+			t.Fatalf("scorecard row missing %q: %v", key, row)
+		}
+	}
+	if row["kind"] != "point" {
+		t.Fatalf("kind must marshal as its string form, got %v", row["kind"])
+	}
+	// Determinism: a second render is byte-identical.
+	var buf2 bytes.Buffer
+	if err := sc.WriteJSON(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("scorecard JSON not byte-deterministic")
+	}
+}
+
+func TestMarkdownRendering(t *testing.T) {
+	pass := Evaluate(Target{
+		ID: "fake-pass", Group: GroupEvaluation, Section: "§6.2",
+		Claim: "claim with a | pipe", Unit: UnitShare,
+		PaperValue: 0.93, Tolerance: Tolerance{Abs: 0.03}, Note: "row note",
+	}, metric(0.939, 0.93, 0.95))
+	fail := Evaluate(Target{
+		ID: "fake-fail", Group: GroupCharacterization, Section: "§2.2",
+		Claim: "another claim", Unit: UnitSpeedup,
+		PaperValue: 1.16, Tolerance: Tolerance{Abs: 0.01},
+	}, metric(1.4))
+	info := Evaluate(Target{
+		ID: "fake-info", Group: GroupStudies, Section: "§6.6",
+		Claim: "scale-bound claim", Unit: UnitShare,
+		PaperValue: 0.30, Tolerance: Tolerance{Abs: 0.05}, ScaleSensitive: true,
+	}, metric(0.157))
+	var buf bytes.Buffer
+	if err := WriteExperimentsMD(&buf, Scorecard{Verdicts: []Verdict{pass, fail, info}}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# EXPERIMENTS — paper vs. measured",
+		"GENERATED FILE",
+		"## How to read a verdict",
+		"## " + GroupCharacterization,
+		"## " + GroupEvaluation,
+		"## " + GroupStudies,
+		"claim with a \\| pipe", // cell escaping
+		"| pass |",
+		"| **FAIL** |",
+		"| informational (outside band) |",
+		"- `fake-pass`: row note",
+		"## Beyond the paper",
+		"## Reproduction verdict",
+		"1 gating targets FAIL",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("generated markdown missing %q:\n%s", want, out)
+		}
+	}
+	// Determinism: a second render is byte-identical.
+	var buf2 bytes.Buffer
+	if err := WriteExperimentsMD(&buf2, Scorecard{Verdicts: []Verdict{pass, fail, info}}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("generated markdown not byte-deterministic")
+	}
+}
+
+// TestRegistrySanity validates the registry's static shape without
+// running a sweep: IDs unique and stable-looking, extractors present,
+// groups known, gating point targets have a non-degenerate band, and
+// every scale-sensitive row explains itself.
+func TestRegistrySanity(t *testing.T) {
+	targets := Targets()
+	if len(targets) < 25 {
+		t.Fatalf("registry suspiciously small: %d targets", len(targets))
+	}
+	groups := map[string]bool{}
+	for _, g := range Groups() {
+		groups[g] = true
+	}
+	seen := map[string]bool{}
+	for _, tgt := range targets {
+		if tgt.ID == "" || strings.ContainsAny(tgt.ID, " |") {
+			t.Errorf("bad target ID %q", tgt.ID)
+		}
+		if seen[tgt.ID] {
+			t.Errorf("duplicate target ID %q", tgt.ID)
+		}
+		seen[tgt.ID] = true
+		if tgt.Extract == nil {
+			t.Errorf("%s: nil extractor", tgt.ID)
+		}
+		if !groups[tgt.Group] {
+			t.Errorf("%s: unknown group %q", tgt.ID, tgt.Group)
+		}
+		if tgt.Claim == "" || tgt.Section == "" {
+			t.Errorf("%s: missing claim or section", tgt.ID)
+		}
+		if tgt.Kind == Point && !tgt.ScaleSensitive && tgt.Tolerance.band(tgt.PaperValue) <= 0 {
+			t.Errorf("%s: gating point target with a zero-width band", tgt.ID)
+		}
+		if tgt.ScaleSensitive && tgt.Note == "" {
+			t.Errorf("%s: scale-sensitive target without an explanatory note", tgt.ID)
+		}
+	}
+}
+
+func TestFormatValueAndBand(t *testing.T) {
+	if got := formatValue(UnitShare, 0.939); got != "93.9%" {
+		t.Errorf("share: %q", got)
+	}
+	if got := formatValue(UnitSpeedup, 1.151); got != "1.151x" {
+		t.Errorf("speedup: %q", got)
+	}
+	if got := formatValue(UnitRatio, 0.85); got != "0.850" {
+		t.Errorf("ratio: %q", got)
+	}
+	if got := formatBand(Target{Unit: UnitShare, Kind: Point, Tolerance: Tolerance{Abs: 0.03}}); got != "±3.0 pt" {
+		t.Errorf("share band: %q", got)
+	}
+	if got := formatBand(Target{Unit: UnitSpeedup, Kind: LowerBound, PaperValue: 1.08, Tolerance: Tolerance{Abs: 0.02}}); got != ">= 1.060x" {
+		t.Errorf("lower bound: %q", got)
+	}
+	if got := formatBand(Target{Kind: Point}); got != "exact" {
+		t.Errorf("exact band: %q", got)
+	}
+	if got := formatBand(Target{Kind: Point, PaperValue: 2, Tolerance: Tolerance{Rel: 0.1}}); got != "±10.0% rel" {
+		t.Errorf("rel band: %q", got)
+	}
+}

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# panicgate: fail CI when a panic() appears on a library path.
+# panicgate: fail CI when a panic() appears on a library or CLI path.
 #
 # The simulator's error model (DESIGN.md §8) requires every failure
 # reachable from the public run APIs to surface as a typed error. Panics
@@ -35,7 +35,7 @@ while IFS= read -r hit; do
     echo "panicgate: disallowed panic on library path: $hit" >&2
     fail=1
   fi
-done < <(grep -rn "panic(" internal --include="*.go" | grep -v "_test.go" || true)
+done < <(grep -rn "panic(" internal cmd --include="*.go" | grep -v "_test.go" || true)
 
 if [[ $fail -ne 0 ]]; then
   echo "panicgate: convert the panic to a typed error (internal/simerr)," >&2
