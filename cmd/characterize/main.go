@@ -1,19 +1,36 @@
 // Command characterize reproduces the Section 2.2 workload
 // characterization: allocation sizes (Fig 2), lifetimes (Fig 3), and the
 // joint distribution (Table 1), straight from the generated traces without
-// running timing simulations.
+// running timing simulations. SIGINT/SIGTERM stops between tables and
+// exits 130.
 package main
 
 import (
 	"fmt"
+	"os"
 
+	"memento/internal/cli"
 	"memento/internal/config"
 	"memento/internal/experiments"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
+	ctx, stop := cli.Context()
+	defer stop()
+
 	s := experiments.NewSuite(config.Default())
-	fmt.Println(experiments.Fig2AllocationSizes(s).Render())
-	fmt.Println(experiments.Fig3Lifetimes(s).Render())
-	fmt.Println(experiments.Table1Joint(s).Render())
+	for _, render := range []func() string{
+		func() string { return experiments.Fig2AllocationSizes(s).Render() },
+		func() string { return experiments.Fig3Lifetimes(s).Render() },
+		func() string { return experiments.Table1Joint(s).Render() },
+	} {
+		if err := ctx.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, "characterize:", err)
+			return cli.ExitCode(err)
+		}
+		fmt.Println(render())
+	}
+	return cli.ExitOK
 }

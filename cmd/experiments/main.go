@@ -3,6 +3,10 @@
 // With -json it also writes the rendered experiments in their stable
 // machine-readable form for downstream tooling.
 //
+// SIGINT/SIGTERM cancels the sweep at the next per-workload boundary and
+// exits 130; JSON artifacts are written atomically (temp file + rename),
+// so an interrupted run never leaves a torn file.
+//
 // Usage:
 //
 //	experiments                 # all tables and figures (full sweep, ~1 min)
@@ -16,14 +20,19 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strings"
 
 	"memento"
+	"memento/internal/atomicio"
+	"memento/internal/cli"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	only := flag.String("only", "", "run a single experiment by id (fig2..fig14, table1..table3, sec6.1-iso, sec6.6-*, sec6.7-mallacc)")
 	jsonOut := flag.String("json", "", "write the printed experiments as a JSON array to FILE (- for stdout)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel workers for the workload sweep")
@@ -31,28 +40,31 @@ func main() {
 	fleetStudy := flag.Bool("fleet", false, "print the fleet simulation study (arrival pattern x policy x stack) instead of the paper's tables")
 	flag.Parse()
 
+	ctx, stop := cli.Context()
+	defer stop()
+
 	s := memento.NewSuite(memento.DefaultConfig(), memento.WithWorkers(*workers))
 	var exps []memento.Experiment
 	var err error
 	switch {
 	case *warm:
 		var e memento.Experiment
-		e, err = memento.WarmStartsExperiment(s)
+		e, err = memento.WarmStartsExperimentContext(ctx, s)
 		exps = []memento.Experiment{e}
 		if err == nil {
-			e, err = memento.WarmBytesExperiment(s)
+			e, err = memento.WarmBytesExperimentContext(ctx, s)
 			exps = append(exps, e)
 		}
 	case *fleetStudy:
 		var e memento.Experiment
-		e, err = memento.FleetExperiment(s)
+		e, err = memento.FleetExperimentContext(ctx, s)
 		exps = []memento.Experiment{e}
 	default:
-		exps, err = s.All()
+		exps, err = s.AllContext(ctx)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
-		os.Exit(1)
+		return cli.ExitCode(err)
 	}
 	var matched []memento.Experiment
 	for _, e := range exps {
@@ -64,22 +76,20 @@ func main() {
 	}
 	if len(matched) == 0 {
 		fmt.Fprintf(os.Stderr, "experiments: no experiment matches %q\n", *only)
-		os.Exit(1)
+		return cli.ExitFailure
 	}
 	if *jsonOut != "" {
-		out := os.Stdout
-		if *jsonOut != "-" {
-			f, err := os.Create(*jsonOut)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "experiments:", err)
-				os.Exit(1)
-			}
-			defer f.Close()
-			out = f
+		write := func(w io.Writer) error { return memento.ExportExperiments(w, matched) }
+		var werr error
+		if *jsonOut == "-" {
+			werr = write(os.Stdout)
+		} else {
+			werr = atomicio.WriteFile(*jsonOut, write)
 		}
-		if err := memento.ExportExperiments(out, matched); err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+		if werr != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", werr)
+			return cli.ExitFailure
 		}
 	}
+	return cli.ExitOK
 }

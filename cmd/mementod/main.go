@@ -1,0 +1,98 @@
+// Command mementod serves the simulator as a long-running HTTP service:
+// submit simulation jobs (single runs, baseline/Memento comparisons, the
+// full experiment sweep, or the fleet study) over JSON, poll their
+// status, and stream live telemetry as Server-Sent Events while they
+// execute. Identical jobs are content-addressed — a resubmission of a
+// completed (config, spec) pair is served from the result cache without
+// simulating.
+//
+//	POST /v1/jobs              {"kind":"run","workload":"html",...}
+//	GET  /v1/jobs/{id}         job state + result
+//	POST /v1/jobs/{id}/cancel  cancel queued or running work
+//	GET  /v1/jobs/{id}/events  SSE event stream (?from=N resumes)
+//	GET  /healthz              liveness
+//	GET  /metrics              queue/cache/latency counters
+//
+// SIGINT/SIGTERM shuts down gracefully: the listener stops accepting,
+// in-flight requests finish, every job context is cancelled so running
+// sweeps stop at their next per-workload boundary, and the process exits
+// 0 once the store drains (non-zero only if the drain times out).
+//
+// Usage:
+//
+//	mementod -addr :8080 -workers 2 -queue 16
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"memento/internal/api"
+	"memento/internal/cli"
+	"memento/internal/config"
+	"memento/internal/store"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		workers      = flag.Int("workers", 0, "concurrent job executors (default min(4, GOMAXPROCS))")
+		queue        = flag.Int("queue", 16, "max queued jobs before submissions get 429")
+		sweepWorkers = flag.Int("sweep-workers", 0, "per-sweep workload fan-out (default GOMAXPROCS)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max wait for running jobs to stop on shutdown")
+	)
+	flag.Parse()
+
+	ctx, stop := cli.Context()
+	defer stop()
+
+	st := store.New(config.Default(), store.Options{
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		SweepWorkers: *sweepWorkers,
+	})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           api.New(st).Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "mementod: listening on %s\n", *addr)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case <-ctx.Done():
+		// Signal: stop accepting, finish in-flight requests, drain jobs.
+		fmt.Fprintln(os.Stderr, "mementod: shutting down")
+		stop() // restore default handling so a second signal kills hard
+		code := cli.ExitOK
+		sctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			fmt.Fprintln(os.Stderr, "mementod: http shutdown:", err)
+			code = cli.ExitFailure
+		}
+		if err := st.Close(sctx); err != nil {
+			fmt.Fprintln(os.Stderr, "mementod:", err)
+			code = cli.ExitFailure
+		}
+		fmt.Fprintln(os.Stderr, "mementod: drained, bye")
+		return code
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "mementod:", err)
+			return cli.ExitFailure
+		}
+		return cli.ExitOK
+	}
+}

@@ -4,6 +4,10 @@
 // machine-readable JSON (per-bucket cycles, component counters, and a
 // cycle-attribution timeline sampled every --timeline-interval events).
 //
+// SIGINT/SIGTERM before the run starts cancels it and exits 130; the
+// metrics JSON is written atomically (temp file + rename), so an
+// interrupted run never leaves a torn file.
+//
 // Usage:
 //
 //	mementosim -workload html [-cold] [-populate]
@@ -14,12 +18,17 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"memento"
+	"memento/internal/atomicio"
+	"memento/internal/cli"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	var (
 		name       = flag.String("workload", "html", "benchmark name (see -list)")
 		cold       = flag.Bool("cold", false, "cold-start the function (container setup on the critical path)")
@@ -34,8 +43,11 @@ func main() {
 		for _, p := range memento.Workloads() {
 			fmt.Printf("%-10s %-8s %-9s %s\n", p.Name, p.Lang, p.Class, p.Suite)
 		}
-		return
+		return cli.ExitOK
 	}
+
+	ctx, stop := cli.Context()
+	defer stop()
 
 	opts := []memento.RunOption{}
 	if *cold {
@@ -48,10 +60,10 @@ func main() {
 		opts = append(opts, memento.WithTimeline(*interval))
 	}
 	r := memento.NewRunner(memento.DefaultConfig(), opts...)
-	base, mem, err := r.Compare(*name)
+	base, mem, err := r.CompareContext(ctx, *name)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mementosim:", err)
-		os.Exit(1)
+		return cli.ExitCode(err)
 	}
 
 	// With the JSON going to stdout, the human tables move to stderr so the
@@ -86,23 +98,21 @@ func main() {
 	fmt.Fprintf(tbl, "  bypassed lines:     %d\n", mem.HOT.BypassedLines)
 
 	if *metricsOut != "" {
-		out := os.Stdout
-		if *metricsOut != "-" {
-			f, err := os.Create(*metricsOut)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "mementosim:", err)
-				os.Exit(1)
-			}
-			defer f.Close()
-			out = f
+		write := func(w io.Writer) error { return memento.ExportRuns(w, base, mem) }
+		var werr error
+		if *metricsOut == "-" {
+			werr = write(os.Stdout)
+		} else {
+			werr = atomicio.WriteFile(*metricsOut, write)
 		}
-		if err := memento.ExportRuns(out, base, mem); err != nil {
-			fmt.Fprintln(os.Stderr, "mementosim:", err)
-			os.Exit(1)
+		if werr != nil {
+			fmt.Fprintln(os.Stderr, "mementosim:", werr)
+			return cli.ExitFailure
 		}
 		if *metricsOut != "-" {
 			fmt.Fprintf(tbl, "\n  metrics written to %s (%d timeline samples per run)\n",
 				*metricsOut, base.Timeline.Len())
 		}
 	}
+	return cli.ExitOK
 }

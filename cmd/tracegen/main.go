@@ -1,6 +1,9 @@
 // Command tracegen generates a workload's memory-management event trace
 // and writes it as JSON, for inspection or replay with RunTrace.
 //
+// The output file is written atomically (temp file + rename), so an
+// error or a SIGINT mid-write never leaves a torn trace.
+//
 // Usage:
 //
 //	tracegen -workload html -o html.trace.json
@@ -10,40 +13,45 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"memento"
+	"memento/internal/atomicio"
+	"memento/internal/cli"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	var (
 		name = flag.String("workload", "html", "benchmark name")
 		out  = flag.String("o", "", "output file (default stdout)")
 	)
 	flag.Parse()
 
+	_, stop := cli.Context()
+	defer stop()
+
 	tr, err := memento.GenerateTrace(*name)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tracegen:", err)
-		os.Exit(1)
+		return cli.ExitFailure
 	}
-	w := os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "tracegen:", err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		w = f
+	write := func(w io.Writer) error { return tr.Encode(w) }
+	if *out == "" {
+		err = write(os.Stdout)
+	} else {
+		err = atomicio.WriteFile(*out, write)
 	}
-	if err := tr.Encode(w); err != nil {
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "tracegen:", err)
-		os.Exit(1)
+		return cli.ExitFailure
 	}
 	if *out != "" {
 		s := tr.Summarize()
 		fmt.Printf("wrote %s: %d events (%d allocs, %d frees, %d touches)\n",
 			*out, tr.Len(), s.Allocs, s.Frees, s.Touches)
 	}
+	return cli.ExitOK
 }

@@ -7,6 +7,10 @@
 // that makes every future perf or scale change provably non-regressive
 // against the paper, not just against yesterday's output.
 //
+// SIGINT/SIGTERM cancels the sweep at the next per-workload boundary and
+// exits 130; the scorecard JSON is written atomically (temp file +
+// rename), so an interrupted run never tears a checked-in artifact.
+//
 // Usage:
 //
 //	validate                    # scorecard table + validate_scorecard.json
@@ -24,60 +28,66 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 
+	"memento/internal/atomicio"
+	"memento/internal/cli"
 	"memento/internal/config"
 	"memento/internal/experiments"
 	"memento/internal/validate"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	jsonOut := flag.String("json", "validate_scorecard.json", "write the scorecard JSON to FILE (- for stdout, empty to skip)")
 	md := flag.Bool("md", false, "emit the generated EXPERIMENTS.md to stdout instead of the scorecard table")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel workers for the workload sweep")
 	flag.Parse()
 
+	ctx, stop := cli.Context()
+	defer stop()
+
 	s := experiments.NewSuite(config.Default(), experiments.WithWorkers(*workers))
-	sc, err := validate.Run(s)
+	sc, err := validate.RunContext(ctx, s)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "validate:", err)
-		os.Exit(1)
+		return cli.ExitCode(err)
 	}
 
 	if *md {
 		if err := validate.WriteExperimentsMD(os.Stdout, sc); err != nil {
 			fmt.Fprintln(os.Stderr, "validate:", err)
-			os.Exit(1)
+			return cli.ExitFailure
 		}
 		if !sc.Pass() {
 			fmt.Fprintln(os.Stderr, sc.Summary())
-			os.Exit(1)
+			return cli.ExitFailure
 		}
-		return
+		return cli.ExitOK
 	}
 
 	if err := sc.WriteTable(os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "validate:", err)
-		os.Exit(1)
+		return cli.ExitFailure
 	}
 	if *jsonOut != "" {
-		out := os.Stdout
-		if *jsonOut != "-" {
-			f, err := os.Create(*jsonOut)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "validate:", err)
-				os.Exit(1)
-			}
-			defer f.Close()
-			out = f
+		write := func(w io.Writer) error { return sc.WriteJSON(w) }
+		var werr error
+		if *jsonOut == "-" {
+			werr = write(os.Stdout)
+		} else {
+			werr = atomicio.WriteFile(*jsonOut, write)
 		}
-		if err := sc.WriteJSON(out); err != nil {
-			fmt.Fprintln(os.Stderr, "validate:", err)
-			os.Exit(1)
+		if werr != nil {
+			fmt.Fprintln(os.Stderr, "validate:", werr)
+			return cli.ExitFailure
 		}
 	}
 	if !sc.Pass() {
-		os.Exit(1)
+		return cli.ExitFailure
 	}
+	return cli.ExitOK
 }

@@ -1,6 +1,8 @@
 package memento
 
 import (
+	"context"
+
 	"memento/internal/experiments"
 	"memento/internal/fleet"
 )
@@ -112,4 +114,10 @@ func FleetConformance(mk func() FleetPolicy) error { return fleet.Conformance(mk
 // rendered table (the `cmd/experiments -fleet` output).
 func FleetExperiment(s *experiments.Suite) (Experiment, error) {
 	return experiments.FleetStudy(s)
+}
+
+// FleetExperimentContext is FleetExperiment with cancellation at per-cell
+// (pattern x policy x stack) boundaries.
+func FleetExperimentContext(ctx context.Context, s *experiments.Suite) (Experiment, error) {
+	return experiments.FleetStudyContext(ctx, s)
 }

@@ -1,0 +1,189 @@
+// Package api is mementod's HTTP layer: request decoding, input
+// validation mapping, and response encoding over internal/store. It is
+// stdlib-only (net/http with Go 1.22 method/wildcard patterns) and holds
+// no state of its own — every handler is a thin, testable adapter onto
+// the job store.
+//
+// Endpoints:
+//
+//	POST /v1/jobs              submit a job (201 queued, 200 cache hit)
+//	GET  /v1/jobs/{id}         poll a job's state and result
+//	POST /v1/jobs/{id}/cancel  cancel a queued or running job
+//	GET  /v1/jobs/{id}/events  stream the job's event log as SSE
+//	GET  /healthz              liveness
+//	GET  /metrics              service counters (JSON)
+package api
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"memento/internal/store"
+)
+
+// maxBodyBytes bounds a submission body; specs are a few hundred bytes.
+const maxBodyBytes = 1 << 20
+
+// Server adapts a job store to HTTP.
+type Server struct {
+	st *store.Store
+}
+
+// New returns a Server over st.
+func New(st *store.Store) *Server { return &Server{st: st} }
+
+// Handler returns the routed http.Handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.submit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.get)
+	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.cancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.events)
+	mux.HandleFunc("GET /healthz", s.healthz)
+	mux.HandleFunc("GET /metrics", s.metrics)
+	return mux
+}
+
+// errorBody is the JSON error envelope: {"error": "..."}.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	// The status line is gone; an encode failure here can only be a dead
+	// client, so the error is dropped.
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
+	var spec store.JobSpec
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode job spec: %w", err))
+		return
+	}
+	j, err := s.st.Submit(spec)
+	switch {
+	case err == nil:
+	case errors.Is(err, store.ErrInvalidSpec):
+		writeError(w, http.StatusBadRequest, err)
+		return
+	case errors.Is(err, store.ErrQueueFull):
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	case errors.Is(err, store.ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	default:
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	v := j.View()
+	status := http.StatusCreated
+	if v.CacheHit {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, v)
+}
+
+// lookup resolves {id}, writing a 404 and returning nil if unknown.
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) *store.Job {
+	id := r.PathValue("id")
+	j, ok := s.st.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+		return nil
+	}
+	return j
+}
+
+func (s *Server) get(w http.ResponseWriter, r *http.Request) {
+	if j := s.lookup(w, r); j != nil {
+		writeJSON(w, http.StatusOK, j.View())
+	}
+}
+
+func (s *Server) cancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, ok := s.st.Cancel(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.View())
+}
+
+// events streams the job's event log as Server-Sent Events. Each log
+// entry becomes one SSE frame (event: type, id: seq, data: payload); the
+// stream ends after the job's terminal event, or when the client hangs
+// up. ?from=N resumes after a dropped connection.
+func (s *Server) events(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	from := 0
+	if q := r.URL.Query().Get("from"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad from %q", q))
+			return
+		}
+		from = n
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, errors.New("streaming unsupported"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	for {
+		evs, done, changed := j.Events(from)
+		for _, e := range evs {
+			data := e.Data
+			if data == nil {
+				data = json.RawMessage("{}")
+			}
+			// json.Marshal output is newline-free, so one data: line
+			// per frame is always well-formed SSE.
+			fmt.Fprintf(w, "event: %s\nid: %d\ndata: %s\n\n", e.Type, e.Seq, data)
+			from = e.Seq + 1
+		}
+		if len(evs) > 0 {
+			flusher.Flush()
+		}
+		if done {
+			return
+		}
+		select {
+		case <-changed:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) healthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.st.Metrics())
+}

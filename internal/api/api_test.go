@@ -1,0 +1,351 @@
+package api
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"memento/internal/config"
+	"memento/internal/store"
+)
+
+func newTestServer(t *testing.T, opt store.Options) (*httptest.Server, *store.Store) {
+	t.Helper()
+	st := store.New(config.Default(), opt)
+	ts := httptest.NewServer(New(st).Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := st.Close(ctx); err != nil {
+			t.Errorf("store close: %v", err)
+		}
+	})
+	return ts, st
+}
+
+func submit(t *testing.T, ts *httptest.Server, body string) (int, store.JobView) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v store.JobView
+	if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusCreated {
+		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode, v
+}
+
+func getJob(t *testing.T, ts *httptest.Server, id string) store.JobView {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET job %s: status %d", id, resp.StatusCode)
+	}
+	var v store.JobView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func pollDone(t *testing.T, ts *httptest.Server, id string) store.JobView {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		v := getJob(t, ts, id)
+		switch v.Status {
+		case store.StatusQueued, store.StatusRunning:
+			time.Sleep(10 * time.Millisecond)
+		default:
+			return v
+		}
+	}
+	t.Fatalf("job %s never finished", id)
+	return store.JobView{}
+}
+
+func TestSubmitPollResult(t *testing.T) {
+	ts, _ := newTestServer(t, store.Options{Workers: 1})
+	code, v := submit(t, ts, `{"kind":"run","workload":"html"}`)
+	if code != http.StatusCreated {
+		t.Fatalf("submit status = %d, want 201", code)
+	}
+	if v.ID == "" || v.Status != store.StatusQueued && v.Status != store.StatusRunning && v.Status != store.StatusDone {
+		t.Fatalf("bad view: %+v", v)
+	}
+	final := pollDone(t, ts, v.ID)
+	if final.Status != store.StatusDone {
+		t.Fatalf("status = %s (err %q), want done", final.Status, final.Error)
+	}
+	var result struct {
+		Run struct {
+			Workload string `json:"workload"`
+			Cycles   uint64 `json:"cycles"`
+		} `json:"run"`
+	}
+	if err := json.Unmarshal(final.Result, &result); err != nil {
+		t.Fatalf("result: %v", err)
+	}
+	if result.Run.Workload != "html" || result.Run.Cycles == 0 {
+		t.Errorf("result = %+v", result)
+	}
+}
+
+func TestDuplicateSubmitIsCacheHit(t *testing.T) {
+	ts, _ := newTestServer(t, store.Options{Workers: 1})
+	code, v := submit(t, ts, `{"kind":"run","workload":"aes"}`)
+	if code != http.StatusCreated {
+		t.Fatalf("first submit: %d", code)
+	}
+	pollDone(t, ts, v.ID)
+
+	code2, v2 := submit(t, ts, `{"kind":"RUN","workload":"AES"}`)
+	if code2 != http.StatusOK {
+		t.Fatalf("resubmit status = %d, want 200 (cache hit)", code2)
+	}
+	if !v2.CacheHit || v2.Status != store.StatusDone {
+		t.Fatalf("resubmit not served from cache: %+v", v2)
+	}
+	if v2.Key != v.Key {
+		t.Errorf("case-variant spec changed key: %s vs %s", v2.Key, v.Key)
+	}
+
+	var m store.MetricsSnapshot
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	if m.CacheHits != 1 {
+		t.Errorf("cache hits = %d, want 1", m.CacheHits)
+	}
+	if m.CacheHitRate <= 0 {
+		t.Errorf("cache hit rate = %v, want > 0", m.CacheHitRate)
+	}
+}
+
+// TestStreamEvents reads the SSE stream of a timeline run end to end and
+// checks framing, ordering, and the terminal event.
+func TestStreamEvents(t *testing.T) {
+	ts, _ := newTestServer(t, store.Options{Workers: 1})
+	_, v := submit(t, ts, `{"kind":"run","workload":"html","timeline_interval":2000}`)
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + v.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content-type = %q", ct)
+	}
+
+	var types []string
+	var lastSeq = -1
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "event: ") {
+			types = append(types, strings.TrimPrefix(line, "event: "))
+		}
+		if strings.HasPrefix(line, "id: ") {
+			var seq int
+			fmt.Sscanf(line, "id: %d", &seq)
+			if seq != lastSeq+1 {
+				t.Errorf("seq %d after %d", seq, lastSeq)
+			}
+			lastSeq = seq
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(types) < 3 {
+		t.Fatalf("too few events: %v", types)
+	}
+	if types[0] != "queued" {
+		t.Errorf("first event %q, want queued", types[0])
+	}
+	if last := types[len(types)-1]; last != "done" {
+		t.Errorf("last event %q, want done", last)
+	}
+	var samples int
+	for _, typ := range types {
+		if typ == "sample" {
+			samples++
+		}
+	}
+	if samples == 0 {
+		t.Error("stream carried no sample events")
+	}
+
+	// Resuming from the recorded tail yields only what we missed: nothing.
+	resp2, err := http.Get(fmt.Sprintf("%s/v1/jobs/%s/events?from=%d", ts.URL, v.ID, lastSeq+1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp2.Body); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); strings.Contains(got, "event: ") {
+		t.Errorf("resume past end replayed events: %q", got)
+	}
+}
+
+func TestCancelRunningSweep(t *testing.T) {
+	ts, _ := newTestServer(t, store.Options{Workers: 1})
+	_, v := submit(t, ts, `{"kind":"sweep"}`)
+
+	// Let it start, then cancel over HTTP.
+	deadline := time.Now().Add(30 * time.Second)
+	for getJob(t, ts, v.ID).Status == store.StatusQueued && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	resp, err := http.Post(ts.URL+"/v1/jobs/"+v.ID+"/cancel", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel status = %d", resp.StatusCode)
+	}
+	final := pollDone(t, ts, v.ID)
+	if final.Status != store.StatusCanceled {
+		t.Fatalf("status after cancel = %s, want canceled", final.Status)
+	}
+	if final.Error == "" {
+		t.Error("canceled job has empty error")
+	}
+}
+
+func TestErrorMapping(t *testing.T) {
+	ts, _ := newTestServer(t, store.Options{Workers: 1})
+	cases := []struct {
+		name string
+		body string
+		want int
+	}{
+		{"bad json", `{`, http.StatusBadRequest},
+		{"unknown field", `{"kind":"run","workload":"html","blast":1}`, http.StatusBadRequest},
+		{"missing kind", `{}`, http.StatusBadRequest},
+		{"unknown workload", `{"kind":"run","workload":"nope"}`, http.StatusBadRequest},
+		{"sweep with workload", `{"kind":"sweep","workload":"html"}`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		if code, _ := submit(t, ts, tc.body); code != tc.want {
+			t.Errorf("%s: status = %d, want %d", tc.name, code, tc.want)
+		}
+	}
+
+	for _, probe := range []struct {
+		method, path string
+	}{
+		{"GET", "/v1/jobs/j-999999"},
+		{"GET", "/v1/jobs/j-999999/events"},
+		{"POST", "/v1/jobs/j-999999/cancel"},
+	} {
+		req, _ := http.NewRequest(probe.method, ts.URL+probe.path, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("%s %s: status = %d, want 404", probe.method, probe.path, resp.StatusCode)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz = %d", resp.StatusCode)
+	}
+}
+
+func TestQueueFullReturns429(t *testing.T) {
+	ts, st := newTestServer(t, store.Options{Workers: 1, QueueDepth: 1})
+	// Pin the worker with a sweep and fill the one queue slot; distinct
+	// specs so nothing is served from cache.
+	code, blocker := submit(t, ts, `{"kind":"sweep"}`)
+	if code != http.StatusCreated {
+		t.Fatalf("blocker: %d", code)
+	}
+	var saw429 bool
+	fillers := []string{
+		`{"kind":"run","workload":"html"}`,
+		`{"kind":"run","workload":"aes"}`,
+		`{"kind":"run","workload":"bfs"}`,
+	}
+	for _, body := range fillers {
+		if code, _ := submit(t, ts, body); code == http.StatusTooManyRequests {
+			saw429 = true
+			break
+		}
+	}
+	if !saw429 {
+		t.Error("queue never reported full")
+	}
+	st.Cancel(blocker.ID)
+	pollDone(t, ts, blocker.ID)
+}
+
+// TestConcurrentSubmits hammers the submit endpoint from many goroutines
+// (run under -race in CI) and checks every accepted job reaches done.
+func TestConcurrentSubmits(t *testing.T) {
+	ts, _ := newTestServer(t, store.Options{Workers: 2, QueueDepth: 64})
+	const n = 12
+	ids := make([]string, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Two distinct specs interleaved, so the cache and the queue
+			// are both exercised concurrently.
+			body := `{"kind":"run","workload":"html"}`
+			if i%2 == 1 {
+				body = `{"kind":"run","workload":"aes"}`
+			}
+			code, v := submit(t, ts, body)
+			if code != http.StatusCreated && code != http.StatusOK {
+				t.Errorf("submit %d: status %d", i, code)
+				return
+			}
+			ids[i] = v.ID
+		}(i)
+	}
+	wg.Wait()
+	for i, id := range ids {
+		if id == "" {
+			continue
+		}
+		if v := pollDone(t, ts, id); v.Status != store.StatusDone {
+			t.Errorf("job %d (%s): %s, want done", i, id, v.Status)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+// Package cli holds the plumbing every cmd/ binary shares: signal-aware
+// contexts, the interrupt exit-code convention, and error classification.
+//
+// The contract (DESIGN.md §13): main is a one-liner `os.Exit(run())` so
+// that every deferred cleanup inside run executes before the process
+// exits; run builds its context with Context() and returns ExitInterrupt
+// when the work was cut short by SIGINT/SIGTERM, distinguishing an
+// operator interrupt from an ordinary failure (ExitFailure) in scripts
+// and CI.
+package cli
+
+import (
+	"context"
+	"errors"
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// Exit codes shared by all binaries.
+const (
+	// ExitOK is a successful run.
+	ExitOK = 0
+	// ExitFailure is an ordinary error (bad flags, failed run, I/O error).
+	ExitFailure = 1
+	// ExitInterrupt reports a run cut short by SIGINT/SIGTERM, following
+	// the shell convention of 128 + SIGINT(2).
+	ExitInterrupt = 130
+)
+
+// Context returns a context cancelled on SIGINT or SIGTERM. The returned
+// stop must be deferred: it releases the signal registration so a second
+// signal kills the process immediately instead of being swallowed while
+// cleanup runs.
+func Context() (ctx context.Context, stop context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+}
+
+// Interrupted reports whether err is context cancellation — the signal
+// path through the context plumbing — as opposed to an ordinary failure.
+func Interrupted(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// ExitCode classifies err: ExitOK for nil, ExitInterrupt for context
+// cancellation, ExitFailure otherwise.
+func ExitCode(err error) int {
+	switch {
+	case err == nil:
+		return ExitOK
+	case Interrupted(err):
+		return ExitInterrupt
+	default:
+		return ExitFailure
+	}
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"memento/internal/fleet"
@@ -13,6 +14,12 @@ import (
 // measurement sweep. Not part of the paper's figures; printed by
 // `cmd/experiments -fleet` and pinned by experiments_fleet_output.txt.
 func FleetStudy(s *Suite) (Experiment, error) {
+	return FleetStudyContext(context.Background(), s)
+}
+
+// FleetStudyContext is FleetStudy with cancellation at per-cell
+// (pattern x policy x stack) boundaries.
+func FleetStudyContext(ctx context.Context, s *Suite) (Experiment, error) {
 	e := Experiment{
 		ID:    "fleet",
 		Title: "Fleet simulation: arrival pattern x keep-warm policy x stack",
@@ -44,6 +51,9 @@ func FleetStudy(s *Suite) (Experiment, error) {
 	for _, arr := range patterns {
 		for _, mk := range policies {
 			for _, stack := range []machine.Stack{machine.Baseline, machine.Memento} {
+				if err := ctx.Err(); err != nil {
+					return e, err
+				}
 				f := fleet.New(s.Cfg,
 					fleet.WithArrivals(arr),
 					fleet.WithHosts(hosts),

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"memento/internal/machine"
@@ -31,40 +32,76 @@ func mean(samples []float64) Metric {
 // profile order. Both SensitivityColdStart and the validation extractors
 // read this cache, so the figure and the scorecard can never disagree.
 func (s *Suite) ColdStarts() ([]ColdRun, error) {
-	s.coldOnce.Do(func() {
-		pairs, err := s.Pairs()
+	return s.ColdStartsContext(context.Background())
+}
+
+// ColdStartsContext is ColdStarts with cancellation: the study stops at
+// the next per-workload boundary and returns ctx.Err() without latching
+// the memo, leaving the suite reusable.
+func (s *Suite) ColdStartsContext(ctx context.Context) ([]ColdRun, error) {
+	s.coldMu.Lock()
+	defer s.coldMu.Unlock()
+	if s.coldDone {
+		return s.colds, s.coldErr
+	}
+	pairs, err := s.PairsContext(ctx)
+	if err != nil {
+		return nil, err
+	}
+	var colds []ColdRun
+	for _, prof := range workload.ByClass(workload.Function) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		p := pairs[prof.Name]
+		base, mem, err := machine.RunPair(s.Cfg, p.Trace, machine.Options{ColdStart: true})
 		if err != nil {
-			s.coldErr = err
-			return
+			s.coldErr = fmt.Errorf("experiments: %s (cold): %w", prof.Name, err)
+			s.coldDone = true
+			return s.colds, s.coldErr
 		}
-		for _, prof := range workload.ByClass(workload.Function) {
-			p := pairs[prof.Name]
-			base, mem, err := machine.RunPair(s.Cfg, p.Trace, machine.Options{ColdStart: true})
-			if err != nil {
-				s.coldErr = fmt.Errorf("experiments: %s (cold): %w", prof.Name, err)
-				return
-			}
-			s.colds = append(s.colds, ColdRun{Name: prof.Name, Warm: p.Speedup(), Cold: machine.Speedup(base, mem)})
-		}
-	})
-	return s.colds, s.coldErr
+		colds = append(colds, ColdRun{Name: prof.Name, Warm: p.Speedup(), Cold: machine.Speedup(base, mem)})
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	s.colds, s.coldDone = colds, true
+	return s.colds, nil
 }
 
 // MallaccRuns runs (once) the §6.7 idealized-Mallacc comparison over the
 // DeathStarBench C++ workloads, in canonical profile order. Shared by
 // MallaccComparison and the validation extractors.
 func (s *Suite) MallaccRuns() ([]MallaccRun, error) {
-	s.mallaccOnce.Do(func() {
-		for _, prof := range workload.ByLanguage(workload.Function, trace.Cpp) {
-			c, err := mallacc.Run(s.Cfg, s.genTrace(prof))
-			if err != nil {
-				s.mallaccErr = fmt.Errorf("experiments: %s (mallacc): %w", prof.Name, err)
-				return
-			}
-			s.mallaccs = append(s.mallaccs, MallaccRun{Name: prof.Name, Mallacc: c.MallaccSpeedup(), Memento: c.MementoSpeedup()})
+	return s.MallaccRunsContext(context.Background())
+}
+
+// MallaccRunsContext is MallaccRuns with cancellation, with the same
+// no-latch-on-cancel contract as PairsContext.
+func (s *Suite) MallaccRunsContext(ctx context.Context) ([]MallaccRun, error) {
+	s.mallaccMu.Lock()
+	defer s.mallaccMu.Unlock()
+	if s.mallaccDone {
+		return s.mallaccs, s.mallaccErr
+	}
+	var runs []MallaccRun
+	for _, prof := range workload.ByLanguage(workload.Function, trace.Cpp) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
-	})
-	return s.mallaccs, s.mallaccErr
+		c, err := mallacc.Run(s.Cfg, s.genTrace(prof))
+		if err != nil {
+			s.mallaccErr = fmt.Errorf("experiments: %s (mallacc): %w", prof.Name, err)
+			s.mallaccDone = true
+			return s.mallaccs, s.mallaccErr
+		}
+		runs = append(runs, MallaccRun{Name: prof.Name, Mallacc: c.MallaccSpeedup(), Memento: c.MementoSpeedup()})
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	s.mallaccs, s.mallaccDone = runs, true
+	return s.mallaccs, nil
 }
 
 // ClassSpeedup returns the Fig 8 speedup for one workload class: the mean

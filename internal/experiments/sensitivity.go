@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -249,7 +250,37 @@ func All(cfg config.Machine) ([]Experiment, error) {
 // All runs every experiment in the paper's order on this suite, reusing
 // its cached workload sweep.
 func (s *Suite) All() ([]Experiment, error) {
-	out := []Experiment{Fig2AllocationSizes(s), Fig3Lifetimes(s), Table1Joint(s)}
+	return s.AllContext(context.Background())
+}
+
+// AllContext is All with cancellation. The heavy memoized sweeps (the
+// workload pair sweep, the §6.6 cold-start study, the §6.7 Mallacc study)
+// are primed with ctx first — a cancellation mid-sweep stops at the next
+// per-workload boundary — and the context is re-checked between the
+// remaining experiments, so a cancelled sweep job never runs to
+// completion. The rendered output is byte-identical to All's.
+func (s *Suite) AllContext(ctx context.Context) ([]Experiment, error) {
+	// Prime the memoized sweeps under ctx; the renderers below hit the
+	// memos and can no longer block on long measurement runs.
+	if _, err := s.PairsContext(ctx); err != nil {
+		return nil, err
+	}
+	if _, err := s.ColdStartsContext(ctx); err != nil {
+		return nil, err
+	}
+	if _, err := s.MallaccRunsContext(ctx); err != nil {
+		return nil, err
+	}
+	emit := func(out []Experiment) []Experiment {
+		if s.progress != nil {
+			s.progress(out[len(out)-1])
+		}
+		return out
+	}
+	out := []Experiment{}
+	for _, e := range []Experiment{Fig2AllocationSizes(s), Fig3Lifetimes(s), Table1Joint(s)} {
+		out = emit(append(out, e))
+	}
 	type runner func(*Suite) (Experiment, error)
 	for _, r := range []runner{
 		Table2Breakdown, Fig8Speedup, Fig9Breakdown, Fig10Bandwidth, Fig11Memory,
@@ -258,29 +289,40 @@ func (s *Suite) All() ([]Experiment, error) {
 		SensitivityArenaSize, SensitivityFragmentation, SensitivityColdStart,
 		MallaccComparison,
 	} {
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
 		e, err := r(s)
 		if err != nil {
 			return out, err
 		}
-		out = append(out, e)
+		out = emit(append(out, e))
+	}
+	if err := ctx.Err(); err != nil {
+		return out, err
 	}
 	abl, err := Ablations(s)
 	if err != nil {
 		return out, err
 	}
-	out = append(out, abl...)
+	for _, e := range abl {
+		out = emit(append(out, e))
+	}
+	if err := ctx.Err(); err != nil {
+		return out, err
+	}
 	ext, err := ExtensionEphemeralGC(s)
 	if err != nil {
 		return out, err
 	}
-	out = append(out, ext)
-	out = append(out, Table3Config(s))
+	out = emit(append(out, ext))
+	out = emit(append(out, Table3Config(s)))
 	if s.warm {
-		w, err := WarmStarts(s)
+		w, err := WarmStartsContext(ctx, s)
 		if err != nil {
 			return out, err
 		}
-		out = append(out, w)
+		out = emit(append(out, w))
 	}
 	if s.exportTo != nil {
 		if err := Export(s.exportTo, out); err != nil {

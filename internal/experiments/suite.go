@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -45,19 +46,27 @@ type Suite struct {
 
 	warm     bool
 	exportTo io.Writer
+	progress func(Experiment)
 
-	once  sync.Once
-	pairs map[string]*Pair
-	err   error
+	// The three sweep memos latch only completed measurements: a sweep cut
+	// short by context cancellation is discarded, so the suite stays
+	// reusable after a cancelled job (the mementod cancellation contract).
+	// Each memo has its own mutex so ColdStarts may call Pairs while held.
+	pairsMu   sync.Mutex
+	pairsDone bool
+	pairs     map[string]*Pair
+	err       error
 
-	// coldOnce/mallaccOnce memoize the §6.6 cold-start and §6.7 Mallacc
+	// coldMu/mallaccMu memoize the §6.6 cold-start and §6.7 Mallacc
 	// sweeps so the figure renderers and the validation extractors
 	// (internal/validate) share one deterministic measurement set.
-	coldOnce sync.Once
+	coldMu   sync.Mutex
+	coldDone bool
 	colds    []ColdRun
 	coldErr  error
 
-	mallaccOnce sync.Once
+	mallaccMu   sync.Mutex
+	mallaccDone bool
 	mallaccs    []MallaccRun
 	mallaccErr  error
 }
@@ -95,6 +104,11 @@ func WithWarm() SuiteOption { return func(s *Suite) { s.warm = true } }
 // stable JSON wire form to w on success (nil detaches).
 func WithExport(w io.Writer) SuiteOption { return func(s *Suite) { s.exportTo = w } }
 
+// WithProgress invokes fn after each experiment Suite.All completes, in
+// order (nil detaches). mementod streams sweep telemetry through this
+// hook; fn runs synchronously on the sweeping goroutine and must be cheap.
+func WithProgress(fn func(Experiment)) SuiteOption { return func(s *Suite) { s.progress = fn } }
+
 // NewSuite creates a suite over the given machine configuration with the
 // options applied in order.
 func NewSuite(cfg config.Machine, opts ...SuiteOption) *Suite {
@@ -129,51 +143,83 @@ func (s *Suite) workerCount(n int) int {
 // per-workload error is kept (joined with errors.Join); a workload that
 // errors is absent from the returned map, which never contains nil pairs.
 func (s *Suite) Pairs() (map[string]*Pair, error) {
-	s.once.Do(func() {
-		profiles := workload.Profiles()
-		s.pairs = make(map[string]*Pair, len(profiles))
-		type job struct {
-			prof workload.Profile
-		}
-		jobs := make(chan job)
-		var mu sync.Mutex
-		var errs []error
-		var wg sync.WaitGroup
-		workers := s.workerCount(len(profiles))
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for j := range jobs {
-					tr := s.genTrace(j.prof)
-					base, mem, err := machine.RunPair(s.Cfg, tr, machine.Options{})
-					if err != nil {
-						mu.Lock()
-						errs = append(errs, fmt.Errorf("experiments: %s: %w", j.prof.Name, err))
-						mu.Unlock()
-						continue
-					}
-					nbCfg := s.Cfg
-					nbCfg.Memento.BypassEnabled = false
-					noBypass, err := machine.RunWarm(nbCfg, tr, machine.Options{Stack: machine.Memento})
-					mu.Lock()
-					if err != nil {
-						errs = append(errs, fmt.Errorf("experiments: %s (no-bypass): %w", j.prof.Name, err))
-					} else {
-						s.pairs[j.prof.Name] = &Pair{Prof: j.prof, Trace: tr, Base: base, Mem: mem, MemNoBypass: noBypass}
-					}
-					mu.Unlock()
-				}
-			}()
-		}
-		for _, p := range profiles {
-			jobs <- job{prof: p}
-		}
-		close(jobs)
-		wg.Wait()
-		s.err = errors.Join(errs...)
-	})
+	return s.PairsContext(context.Background())
+}
+
+// PairsContext is Pairs with cancellation: a cancelled context stops the
+// sweep at the next per-workload boundary and returns ctx.Err() without
+// latching the memo, so a later call (with a live context) redoes the
+// sweep from scratch. Only a completed sweep is memoized. Concurrent
+// callers serialize on the memo; the sweep itself is run by whichever
+// caller gets there first.
+func (s *Suite) PairsContext(ctx context.Context) (map[string]*Pair, error) {
+	s.pairsMu.Lock()
+	defer s.pairsMu.Unlock()
+	if s.pairsDone {
+		return s.pairs, s.err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	pairs, err := s.sweep(ctx)
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		return nil, ctxErr
+	}
+	s.pairs, s.err, s.pairsDone = pairs, err, true
 	return s.pairs, s.err
+}
+
+// sweep runs the full workload sweep. Workers stop picking up new
+// workloads once ctx is cancelled; runs already in flight complete (a
+// single run is the cancellation granularity).
+func (s *Suite) sweep(ctx context.Context) (map[string]*Pair, error) {
+	profiles := workload.Profiles()
+	pairs := make(map[string]*Pair, len(profiles))
+	jobs := make(chan workload.Profile)
+	var mu sync.Mutex
+	var errs []error
+	var wg sync.WaitGroup
+	workers := s.workerCount(len(profiles))
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for prof := range jobs {
+				if ctx.Err() != nil {
+					continue // drain the channel without running
+				}
+				tr := s.genTrace(prof)
+				base, mem, err := machine.RunPair(s.Cfg, tr, machine.Options{})
+				if err != nil {
+					mu.Lock()
+					errs = append(errs, fmt.Errorf("experiments: %s: %w", prof.Name, err))
+					mu.Unlock()
+					continue
+				}
+				nbCfg := s.Cfg
+				nbCfg.Memento.BypassEnabled = false
+				noBypass, err := machine.RunWarm(nbCfg, tr, machine.Options{Stack: machine.Memento})
+				mu.Lock()
+				if err != nil {
+					errs = append(errs, fmt.Errorf("experiments: %s (no-bypass): %w", prof.Name, err))
+				} else {
+					pairs[prof.Name] = &Pair{Prof: prof, Trace: tr, Base: base, Mem: mem, MemNoBypass: noBypass}
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+feed:
+	for _, p := range profiles {
+		select {
+		case jobs <- p:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	return pairs, errors.Join(errs...)
 }
 
 // ByClass returns the suite's pairs for one workload class, in profile

@@ -57,10 +57,7 @@ func TestPairsConcurrentCallers(t *testing.T) {
 // and error, without running any simulation.
 func seededSuite(pairs map[string]*Pair, err error) *Suite {
 	s := &Suite{}
-	s.once.Do(func() {
-		s.pairs = pairs
-		s.err = err
-	})
+	s.pairs, s.err, s.pairsDone = pairs, err, true
 	return s
 }
 

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"memento/internal/machine"
@@ -15,6 +16,12 @@ import (
 // whole run. Not part of the paper's figures; printed by
 // `cmd/experiments -warm` and pinned by experiments_warm_output.txt.
 func WarmStarts(s *Suite) (Experiment, error) {
+	return WarmStartsContext(context.Background(), s)
+}
+
+// WarmStartsContext is WarmStarts with cancellation at per-workload
+// boundaries.
+func WarmStartsContext(ctx context.Context, s *Suite) (Experiment, error) {
 	e := Experiment{
 		ID:    "warm",
 		Title: "Warm starts: setup cycles skipped per invocation",
@@ -23,11 +30,14 @@ func WarmStarts(s *Suite) (Experiment, error) {
 			"workload", "lang", "baseline setup", "memento setup", "base %run", "mem %run",
 		},
 	}
-	pairs, err := s.Pairs()
+	pairs, err := s.PairsContext(ctx)
 	if err != nil {
 		return e, err
 	}
 	for _, name := range sortedNames(pairs) {
+		if err := ctx.Err(); err != nil {
+			return e, err
+		}
 		pr := pairs[name]
 		wb, err := machine.PrepareWarm(s.Cfg, pr.Trace, machine.Options{Stack: machine.Baseline})
 		if err != nil {
@@ -59,6 +69,12 @@ func WarmStarts(s *Suite) (Experiment, error) {
 // `cmd/experiments -warm` after the setup-cycle table and pinned by
 // experiments_warm_output.txt.
 func WarmBytes(s *Suite) (Experiment, error) {
+	return WarmBytesContext(context.Background(), s)
+}
+
+// WarmBytesContext is WarmBytes with cancellation at per-workload
+// boundaries.
+func WarmBytesContext(ctx context.Context, s *Suite) (Experiment, error) {
 	e := Experiment{
 		ID:    "warmbytes",
 		Title: "Warm starts: checkpoint bytes vs delta-restore bytes",
@@ -67,12 +83,15 @@ func WarmBytes(s *Suite) (Experiment, error) {
 			"workload", "lang", "stack", "snapshot KiB", "restore KiB", "shared KiB", "copied",
 		},
 	}
-	pairs, err := s.Pairs()
+	pairs, err := s.PairsContext(ctx)
 	if err != nil {
 		return e, err
 	}
 	kib := func(b uint64) string { return fmt.Sprintf("%.1f", float64(b)/1024) }
 	for _, name := range sortedNames(pairs) {
+		if err := ctx.Err(); err != nil {
+			return e, err
+		}
 		pr := pairs[name]
 		for _, stack := range []machine.Stack{machine.Baseline, machine.Memento} {
 			opt := machine.Options{Stack: stack}

@@ -1,0 +1,97 @@
+package store
+
+import (
+	"encoding/json"
+	"sync"
+)
+
+// EventType classifies one entry in a job's event log.
+type EventType string
+
+const (
+	// EventQueued is appended once at submission.
+	EventQueued EventType = "queued"
+	// EventStarted is appended when a worker picks the job up.
+	EventStarted EventType = "started"
+	// EventCacheHit is appended when the job is served from the result
+	// cache without running.
+	EventCacheHit EventType = "cache_hit"
+	// EventSample carries one live telemetry sample from a run/compare
+	// job (cumulative cycles and bucket attribution at a trace index).
+	EventSample EventType = "sample"
+	// EventExperiment reports one finished experiment of a sweep job.
+	EventExperiment EventType = "experiment"
+	// EventDone / EventFailed / EventCanceled are terminal; exactly one
+	// ends every log.
+	EventDone     EventType = "done"
+	EventFailed   EventType = "failed"
+	EventCanceled EventType = "canceled"
+)
+
+// Event is one append-only log entry. Seq is the 0-based position in the
+// log; clients resume a dropped stream with ?from=<seq>.
+type Event struct {
+	Seq  int             `json:"seq"`
+	Type EventType       `json:"type"`
+	Data json.RawMessage `json:"data,omitempty"`
+}
+
+// terminal reports whether t ends the log.
+func (t EventType) terminal() bool {
+	return t == EventDone || t == EventFailed || t == EventCanceled
+}
+
+// eventLog is a job's append-only event history plus a broadcast channel.
+// Readers snapshot from an offset; the returned channel closes on the
+// next append, so a streaming handler can select on it against its
+// client's context without polling.
+type eventLog struct {
+	mu      sync.Mutex
+	events  []Event
+	done    bool
+	changed chan struct{}
+}
+
+func newEventLog() *eventLog {
+	return &eventLog{changed: make(chan struct{})}
+}
+
+// append adds one event, marshalling data (nil for no payload). Appends
+// after a terminal event are dropped: a late sample from a run that lost
+// a cancellation race can't reorder the log's ending.
+func (l *eventLog) append(t EventType, data any) {
+	var raw json.RawMessage
+	if data != nil {
+		b, err := json.Marshal(data)
+		if err != nil {
+			b, _ = json.Marshal(map[string]string{"marshal_error": err.Error()})
+		}
+		raw = b
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.done {
+		return
+	}
+	l.events = append(l.events, Event{Seq: len(l.events), Type: t, Data: raw})
+	if t.terminal() {
+		l.done = true
+	}
+	close(l.changed)
+	l.changed = make(chan struct{})
+}
+
+// snapshot returns the events at or after seq `from`, whether the log is
+// finished, and a channel that closes on the next append. When done is
+// true the channel will never close; callers must stop waiting.
+func (l *eventLog) snapshot(from int) (evs []Event, done bool, changed <-chan struct{}) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if from < 0 {
+		from = 0
+	}
+	if from < len(l.events) {
+		evs = append([]Event(nil), l.events[from:]...)
+	}
+	return evs, l.done, l.changed
+}

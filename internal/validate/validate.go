@@ -1,6 +1,7 @@
 package validate
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"hash/fnv"
@@ -165,14 +166,36 @@ type Scorecard struct {
 // cached sweeps are shared across targets, so the whole scorecard costs
 // one workload sweep plus the cold-start/Mallacc/iso-storage studies.
 func Run(s *experiments.Suite) (Scorecard, error) {
-	return runTargets(s, Targets())
+	return RunContext(context.Background(), s)
+}
+
+// RunContext is Run with cancellation: the heavy memoized sweeps are
+// primed under ctx (cancellation stops them at the next per-workload
+// boundary) and the context is re-checked before each target's extractor,
+// so an interrupted validation returns ctx.Err() promptly instead of
+// running the full registry.
+func RunContext(ctx context.Context, s *experiments.Suite) (Scorecard, error) {
+	var sc Scorecard
+	if _, err := s.PairsContext(ctx); err != nil {
+		return sc, fmt.Errorf("validate: %w", err)
+	}
+	if _, err := s.ColdStartsContext(ctx); err != nil {
+		return sc, fmt.Errorf("validate: %w", err)
+	}
+	if _, err := s.MallaccRunsContext(ctx); err != nil {
+		return sc, fmt.Errorf("validate: %w", err)
+	}
+	return runTargets(ctx, s, Targets())
 }
 
 // runTargets evaluates an explicit target list (registry order is
 // preserved in the scorecard).
-func runTargets(s *experiments.Suite, targets []Target) (Scorecard, error) {
+func runTargets(ctx context.Context, s *experiments.Suite, targets []Target) (Scorecard, error) {
 	var sc Scorecard
 	for _, t := range targets {
+		if err := ctx.Err(); err != nil {
+			return sc, fmt.Errorf("validate: %s: %w", t.ID, err)
+		}
 		m, err := t.Extract(s)
 		if err != nil {
 			return sc, fmt.Errorf("validate: %s: %w", t.ID, err)

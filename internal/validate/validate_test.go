@@ -2,6 +2,7 @@ package validate
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"math"
 	"strings"
@@ -137,14 +138,14 @@ func TestScorecardPerturbation(t *testing.T) {
 			},
 		}}
 	}
-	sc, err := runTargets(nil, mk(1.151, false))
+	sc, err := runTargets(context.Background(), nil, mk(1.151, false))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !sc.Pass() {
 		t.Fatalf("in-band target must pass: %+v", sc.Verdicts[0])
 	}
-	perturbed, err := runTargets(nil, mk(1.151*1.05, false))
+	perturbed, err := runTargets(context.Background(), nil, mk(1.151*1.05, false))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +155,7 @@ func TestScorecardPerturbation(t *testing.T) {
 	if _, _, _, failed, _ := perturbed.Counts(); failed != 1 {
 		t.Fatalf("want 1 failed gating target, got %d", failed)
 	}
-	info, err := runTargets(nil, mk(2.5, true))
+	info, err := runTargets(context.Background(), nil, mk(2.5, true))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -26,6 +26,7 @@
 package memento
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -108,11 +109,23 @@ func WarmStartsExperiment(s *experiments.Suite) (Experiment, error) {
 	return experiments.WarmStarts(s)
 }
 
+// WarmStartsExperimentContext is WarmStartsExperiment with cancellation
+// at per-workload boundaries.
+func WarmStartsExperimentContext(ctx context.Context, s *experiments.Suite) (Experiment, error) {
+	return experiments.WarmStartsContext(ctx, s)
+}
+
 // WarmBytesExperiment reports, per workload and stack, the full checkpoint
 // size against the bytes a steady-state warm restore actually copies (the
 // delta) — the second `cmd/experiments -warm` table.
 func WarmBytesExperiment(s *experiments.Suite) (Experiment, error) {
 	return experiments.WarmBytes(s)
+}
+
+// WarmBytesExperimentContext is WarmBytesExperiment with cancellation at
+// per-workload boundaries.
+func WarmBytesExperimentContext(ctx context.Context, s *experiments.Suite) (Experiment, error) {
+	return experiments.WarmBytesContext(ctx, s)
 }
 
 // RunAllExperiments regenerates every table and figure of the paper's

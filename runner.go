@@ -1,6 +1,7 @@
 package memento
 
 import (
+	"context"
 	"io"
 
 	"memento/internal/experiments"
@@ -109,11 +110,17 @@ func (r *Runner) Options() Options { return r.opt }
 
 // Run executes one named workload on the configured stack.
 func (r *Runner) Run(name string) (Result, error) {
+	return r.RunContext(context.Background(), name)
+}
+
+// RunContext is Run with cancellation (see RunTraceContext for the
+// cancellation granularity).
+func (r *Runner) RunContext(ctx context.Context, name string) (Result, error) {
 	tr, err := GenerateTrace(name)
 	if err != nil {
 		return Result{}, err
 	}
-	return r.RunTrace(tr)
+	return r.RunTraceContext(ctx, tr)
 }
 
 // RunTrace executes an arbitrary trace on the configured stack. Each run
@@ -121,21 +128,49 @@ func (r *Runner) Run(name string) (Result, error) {
 // post-setup snapshot (see PrepareWarm and WithWarmStart), which changes
 // nothing about the results — warm runs are bit-identical to cold ones.
 func (r *Runner) RunTrace(tr *Trace) (Result, error) {
+	return r.RunTraceContext(context.Background(), tr)
+}
+
+// RunTraceContext is RunTrace with cancellation. A single simulation run
+// is the cancellation granularity: a context cancelled before the run
+// starts returns ctx.Err() immediately, while a run already in flight
+// completes deterministically and returns its result (cancelling mid-run
+// would leave no usable partial result — the sweep layers check the
+// context between runs, which is where cancellation takes effect).
+func (r *Runner) RunTraceContext(ctx context.Context, tr *Trace) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
 	return machine.RunWarm(r.cfg, tr, r.opt)
 }
 
 // Compare runs a named workload on both stacks (fresh machines, identical
 // configuration), regardless of WithStack.
 func (r *Runner) Compare(name string) (base, mem Result, err error) {
+	return r.CompareContext(context.Background(), name)
+}
+
+// CompareContext is Compare with cancellation (the RunTraceContext
+// granularity).
+func (r *Runner) CompareContext(ctx context.Context, name string) (base, mem Result, err error) {
 	tr, err := GenerateTrace(name)
 	if err != nil {
 		return base, mem, err
 	}
-	return r.CompareTrace(tr)
+	return r.CompareTraceContext(ctx, tr)
 }
 
 // CompareTrace runs an arbitrary trace on both stacks.
 func (r *Runner) CompareTrace(tr *Trace) (base, mem Result, err error) {
+	return r.CompareTraceContext(context.Background(), tr)
+}
+
+// CompareTraceContext is CompareTrace with cancellation (the
+// RunTraceContext granularity).
+func (r *Runner) CompareTraceContext(ctx context.Context, tr *Trace) (base, mem Result, err error) {
+	if err := ctx.Err(); err != nil {
+		return base, mem, err
+	}
 	return machine.RunPair(r.cfg, tr, r.opt)
 }
 

@@ -1,0 +1,97 @@
+#!/usr/bin/env bash
+# mementod_smoke: end-to-end exercise of the simulation service over real
+# HTTP — build the daemon, submit a job with curl, stream its SSE events,
+# prove the content-addressed cache serves an identical resubmission, and
+# check a SIGTERM drains gracefully with exit code 0.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ADDR="127.0.0.1:18080"
+BASE="http://$ADDR"
+LOG="$(mktemp)"
+BIN="$(mktemp -d)/mementod"
+
+cleanup() {
+  if [[ -n "${SRV_PID:-}" ]] && kill -0 "$SRV_PID" 2>/dev/null; then
+    kill -9 "$SRV_PID" 2>/dev/null || true
+  fi
+  rm -f "$LOG"
+}
+trap cleanup EXIT
+
+# has STRING SUBSTRING — pipefail-safe containment check (grep -q on a
+# big here-string would SIGPIPE the producer).
+has() {
+  [[ "$1" == *"$2"* ]]
+}
+
+fail() {
+  echo "mementod_smoke: FAIL: $*" >&2
+  echo "--- server log ---" >&2
+  cat "$LOG" >&2
+  exit 1
+}
+
+echo "== build =="
+go build -o "$BIN" ./cmd/mementod
+
+echo "== start =="
+"$BIN" -addr "$ADDR" -workers 2 -queue 8 2>"$LOG" &
+SRV_PID=$!
+
+for i in $(seq 1 100); do
+  if curl -fsS "$BASE/healthz" >/dev/null 2>&1; then
+    break
+  fi
+  kill -0 "$SRV_PID" 2>/dev/null || fail "server died during startup"
+  [[ $i -eq 100 ]] && fail "healthz never came up"
+  sleep 0.1
+done
+echo "healthz ok"
+
+echo "== submit compare job =="
+SPEC='{"kind":"compare","workload":"html","timeline_interval":2000}'
+RESP="$(curl -fsS -X POST "$BASE/v1/jobs" -d "$SPEC")"
+JOB_ID="$(echo "$RESP" | grep -o '"id": *"[^"]*"' | head -1 | sed 's/.*"\(j-[0-9]*\)"/\1/')"
+[[ -n "$JOB_ID" ]] || fail "no job id in response: $RESP"
+echo "submitted $JOB_ID"
+
+echo "== stream events =="
+# The SSE stream ends at the terminal event, so curl terminates by itself.
+EVENTS="$(curl -fsSN --max-time 120 "$BASE/v1/jobs/$JOB_ID/events")"
+has "$EVENTS" "event: queued" || fail "stream missing queued event"
+has "$EVENTS" "event: started" || fail "stream missing started event"
+has "$EVENTS" "event: sample" || fail "stream missing sample events"
+has "$EVENTS" "event: done" || fail "stream missing done event"
+echo "streamed $(grep -c '^event: ' <<<"$EVENTS") events"
+
+echo "== poll result =="
+FINAL="$(curl -fsS "$BASE/v1/jobs/$JOB_ID")"
+has "$FINAL" '"status": "done"' || fail "job not done: ${FINAL:0:400}"
+has "$FINAL" '"speedup"' || fail "result missing speedup"
+
+echo "== duplicate submit is a cache hit =="
+RESUB_BODY="$(mktemp)"
+CODE="$(curl -s -o "$RESUB_BODY" -w '%{http_code}' -X POST "$BASE/v1/jobs" -d "$SPEC")"
+[[ "$CODE" == "200" ]] || fail "resubmit status $CODE, want 200"
+grep '"cache_hit": true' "$RESUB_BODY" >/dev/null || fail "resubmit not served from cache"
+rm -f "$RESUB_BODY"
+METRICS="$(curl -fsS "$BASE/metrics")"
+has "$METRICS" '"cache_hits": 1' || fail "metrics missing cache hit: $METRICS"
+echo "cache hit ok"
+
+echo "== bad requests =="
+CODE="$(curl -s -o /dev/null -w '%{http_code}' -X POST "$BASE/v1/jobs" -d '{"kind":"warp"}')"
+[[ "$CODE" == "400" ]] || fail "invalid kind got $CODE, want 400"
+CODE="$(curl -s -o /dev/null -w '%{http_code}' "$BASE/v1/jobs/j-999999")"
+[[ "$CODE" == "404" ]] || fail "unknown job got $CODE, want 404"
+
+echo "== graceful shutdown =="
+kill -TERM "$SRV_PID"
+EXIT=0
+wait "$SRV_PID" || EXIT=$?
+[[ "$EXIT" == "0" ]] || fail "server exited $EXIT on SIGTERM, want 0"
+grep -q "drained, bye" "$LOG" || fail "server log missing drain message"
+SRV_PID=""
+
+echo "mementod_smoke: PASS"
