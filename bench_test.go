@@ -166,6 +166,92 @@ func BenchmarkFleet(b *testing.B) {
 // -count repetitions of one `go test` process.
 var fleetBenchMin = int64(-1)
 
+// fleetScaleFleet builds the fleet the scale benchmarks run: a canned
+// static cost model (no machine simulation, so scheduling is the only
+// work), bursty arrivals at ~0.67 offered load, LRU keep-warm, and the
+// latency vector dropped — the configuration that isolates the
+// scheduling hot path the indexes accelerate.
+func fleetScaleFleet(hosts, n int, gap uint64, opts ...fleet.Option) *fleet.Fleet {
+	be := &fleet.StaticBackend{
+		ByWorkload: map[string]fleet.Cost{
+			"html": {RunCycles: 12_000_000, SetupCycles: 3_000_000, ColdExtraCycles: 2_400_000, FootprintPages: 1100},
+			"aes":  {RunCycles: 8_000_000, SetupCycles: 2_000_000, ColdExtraCycles: 2_400_000, FootprintPages: 700},
+			"jl":   {RunCycles: 15_000_000, SetupCycles: 2_500_000, ColdExtraCycles: 2_400_000, FootprintPages: 900},
+		},
+		Default: fleet.Cost{RunCycles: 10_000_000, SetupCycles: 2_000_000, ColdExtraCycles: 2_400_000, FootprintPages: 800},
+	}
+	return fleet.New(config.Default(),
+		append([]fleet.Option{
+			fleet.WithArrivals(fleet.Bursty(n, gap, 17)),
+			fleet.WithHosts(fleet.Hosts{Count: hosts, Cores: 2, MemPages: 16384}),
+			fleet.WithPolicy(fleet.LRU()),
+			fleet.WithBackend(be),
+			fleet.WithoutLatencies(),
+		}, opts...)...)
+}
+
+// benchFleetScale times fleetScaleFleet runs with the same min-of-N
+// methodology as BenchmarkFleet: GC outside the timed window, a batch of
+// runs per op, and the fastest sample carried across -count repetitions
+// through *carried.
+func benchFleetScale(b *testing.B, hosts, n int, gap uint64, runs int, carried *int64, opts ...fleet.Option) {
+	minNs := *carried
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < runs; j++ {
+			runtime.GC()
+			t0 := time.Now()
+			r, err := fleetScaleFleet(hosts, n, gap, opts...).Run(machine.Memento)
+			d := time.Since(t0).Nanoseconds()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if r.Invocations != n {
+				b.Fatal("incomplete fleet run")
+			}
+			if minNs < 0 || d < minNs {
+				minNs = d
+			}
+		}
+	}
+	*carried = minNs
+	b.ReportMetric(float64(minNs), "ns/op")
+}
+
+var (
+	fleetScale1kMin  = int64(-1)
+	fleetScale10kMin = int64(-1)
+	fleetScaleRefMin = int64(-1)
+)
+
+// BenchmarkFleetScale measures the indexed engine at fleet scale: 1k
+// hosts x 100k invocations (always), and 10k hosts x 1M invocations
+// (skipped under -short — CI's short mode runs only the 1k point). The
+// gap scales with the host count so both points sit at the same ~0.67
+// offered load.
+func BenchmarkFleetScale(b *testing.B) {
+	b.Run("1k_hosts_100k_invs", func(b *testing.B) {
+		benchFleetScale(b, 1000, 100_000, 9000, 5, &fleetScale1kMin)
+	})
+	b.Run("10k_hosts_1M_invs", func(b *testing.B) {
+		if testing.Short() {
+			b.Skip("10k-host point skipped in short mode")
+		}
+		benchFleetScale(b, 10_000, 1_000_000, 900, 1, &fleetScale10kMin)
+	})
+}
+
+// BenchmarkFleetScaleRef runs the 1k-host point on the retained
+// reference-scan engine (the pre-index O(hosts x warm) hot path) — the
+// baseline the indexed engine's >=10x speedup in BENCH_sweep.json is
+// measured against.
+func BenchmarkFleetScaleRef(b *testing.B) {
+	if testing.Short() {
+		b.Skip("reference-scan baseline skipped in short mode")
+	}
+	benchFleetScale(b, 1000, 100_000, 9000, 2, &fleetScaleRefMin, fleet.WithReferenceScans())
+}
+
 // BenchmarkWorkloadPair measures one full baseline+Memento comparison of a
 // representative function (the unit of Fig 8).
 func BenchmarkWorkloadPair(b *testing.B) {

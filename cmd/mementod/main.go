@@ -18,6 +18,12 @@
 // sweeps stop at their next per-workload boundary, and the process exits
 // 0 once the store drains (non-zero only if the drain times out).
 //
+// -pprof serves net/http/pprof on its own listener (loopback by
+// convention), kept separate from the job API so profiling endpoints are
+// never exposed on the service address:
+//
+//	mementod -addr :8080 -pprof 127.0.0.1:6060
+//
 // Usage:
 //
 //	mementod -addr :8080 -workers 2 -queue 16
@@ -29,6 +35,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"time"
 
@@ -47,6 +54,7 @@ func run() int {
 		queue        = flag.Int("queue", 16, "max queued jobs before submissions get 429")
 		sweepWorkers = flag.Int("sweep-workers", 0, "per-sweep workload fan-out (default GOMAXPROCS)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max wait for running jobs to stop on shutdown")
+		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; empty = off)")
 	)
 	flag.Parse()
 
@@ -64,11 +72,37 @@ func run() int {
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
+	// The profiler gets its own mux on its own listener: the default mux
+	// (which the pprof import would register on) is never served, so the
+	// job API address exposes no profiling endpoints.
+	var psrv *http.Server
+	if *pprofAddr != "" {
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		psrv = &http.Server{
+			Addr:              *pprofAddr,
+			Handler:           pmux,
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+	}
+
 	errc := make(chan error, 1)
 	go func() {
 		fmt.Fprintf(os.Stderr, "mementod: listening on %s\n", *addr)
 		errc <- srv.ListenAndServe()
 	}()
+	if psrv != nil {
+		go func() {
+			fmt.Fprintf(os.Stderr, "mementod: pprof on %s\n", *pprofAddr)
+			if err := psrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintln(os.Stderr, "mementod: pprof:", err)
+			}
+		}()
+	}
 
 	select {
 	case <-ctx.Done():
@@ -81,6 +115,11 @@ func run() int {
 		if err := srv.Shutdown(sctx); err != nil {
 			fmt.Fprintln(os.Stderr, "mementod: http shutdown:", err)
 			code = cli.ExitFailure
+		}
+		if psrv != nil {
+			if err := psrv.Shutdown(sctx); err != nil {
+				fmt.Fprintln(os.Stderr, "mementod: pprof shutdown:", err)
+			}
 		}
 		if err := st.Close(sctx); err != nil {
 			fmt.Fprintln(os.Stderr, "mementod:", err)

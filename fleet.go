@@ -66,6 +66,12 @@ func WithHosts(h FleetHosts) FleetOption { return fleet.WithHosts(h) }
 // (see AlwaysColdPolicy, KeepAlivePolicy, LRUPolicy).
 func WithPolicy(p FleetPolicy) FleetOption { return fleet.WithPolicy(p) }
 
+// WithoutFleetLatencies drops the per-invocation latency vector from the
+// fleet's Result (Latencies == nil; percentiles and mean are still
+// computed). At million-invocation scale the vector is the run's largest
+// allocation — sweeps that only read aggregates should turn it off.
+func WithoutFleetLatencies() FleetOption { return fleet.WithoutLatencies() }
+
 // FleetProbe observes fleet-level events during a run.
 type FleetProbe = fleet.Probe
 

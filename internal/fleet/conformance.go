@@ -33,6 +33,14 @@ func conformanceCost() Backend {
 //   - warm hits are only ever served from an existing warm instance, so
 //     WarmHits+ColdStarts partitions the invocations.
 //
+// The harness is also the engine's differential gate: every run executes
+// with index self-checking on, so after each event the accelerated
+// Cluster accessors (LeastLoadedHost, BestWarmHost, WarmFreshest,
+// OldestWarm) are compared against the retained reference linear scans on
+// the live cluster state — thousands of reachable states per scenario —
+// and each scenario additionally re-runs under WithReferenceScans, whose
+// Result must be deeply equal to the indexed engine's.
+//
 // mk must return a fresh Policy per call (stateful policies would
 // otherwise leak state across the determinism comparison). The harness
 // runs on a canned cost model — no machine simulation — so it is cheap
@@ -58,13 +66,18 @@ func Conformance(mk func() Policy) error {
 		{"pressure", Poisson(200, 3_000_000, 10), Hosts{Count: 2, Cores: 2, MemPages: 2400}},
 	}
 	for _, sc := range scenarios {
-		run := func() (*Result, error) {
+		run := func(opts ...Option) (*Result, error) {
 			f := New(config.Default(),
-				WithArrivals(sc.arr),
-				WithHosts(sc.hosts),
-				WithPolicy(mk()),
-				WithBackend(conformanceCost()),
+				append([]Option{
+					WithArrivals(sc.arr),
+					WithHosts(sc.hosts),
+					WithPolicy(mk()),
+					WithBackend(conformanceCost()),
+				}, opts...)...,
 			)
+			// Cross-check every indexed accessor against its reference scan
+			// after each event.
+			f.selfCheck = true
 			return f.Run(machine.Memento)
 		}
 		r1, err := run()
@@ -85,6 +98,14 @@ func Conformance(mk func() Policy) error {
 		}
 		if !reflect.DeepEqual(r1, r2) {
 			return fmt.Errorf("fleet: policy %s, scenario %s: repeated runs diverge (nondeterministic policy?)",
+				name, sc.label)
+		}
+		ref, err := run(WithReferenceScans())
+		if err != nil {
+			return fmt.Errorf("fleet: policy %s, scenario %s (reference engine): %w", name, sc.label, err)
+		}
+		if !reflect.DeepEqual(r1, ref) {
+			return fmt.Errorf("fleet: policy %s, scenario %s: indexed engine diverges from the reference scans",
 				name, sc.label)
 		}
 	}

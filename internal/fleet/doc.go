@@ -14,6 +14,18 @@
 // invocations do cold-start fraction and keep-warm policy decide — the
 // scale the vHive snapshot study and Squeezy target.
 //
+// The scheduling hot path is indexed: a least-loaded tournament tree,
+// per-workload warm trees (workload names interned to dense ids), per-host
+// idle-sorted warm rings with uid maps, and an arrivals cursor merged with
+// the completion/expiry heap answer every placement, victim, and expiry
+// query in O(1)-O(log N), where the original engine scanned O(hosts x warm
+// instances) per event. The original scans are retained in reference.go as
+// ground truth — WithReferenceScans routes every accessor through them —
+// and the index tie-breaks reproduce the scan order exactly, so the two
+// engines are differentially tested for deeply equal Results (Conformance,
+// the index test suite). 10k-host, million-invocation runs finish in
+// seconds (BenchmarkFleetScale).
+//
 // # Invariants
 //
 // Determinism: arrivals come from an explicitly seeded local rand.Source
@@ -21,6 +33,12 @@
 // the cost backend memoizes machine runs — the same Fleet configuration
 // always produces the same Result, including under -race. Nothing reads
 // clocks or ambient randomness.
+//
+// Pool sort: the simulation clock is non-decreasing and warm instances
+// are only appended at completion times, so each host's pool is always
+// sorted by idleSince — the invariant behind the O(1) LRU victim and the
+// binary-search freshest lookup. verifyIndexes checks it after every
+// event when selfCheck is set.
 //
 // Golden coupling: the 18-row pattern x policy x stack study is pinned
 // byte-for-byte by experiments_fleet_output.txt

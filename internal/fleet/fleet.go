@@ -1,9 +1,8 @@
 package fleet
 
 import (
-	"container/heap"
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 
 	"memento/internal/config"
@@ -33,15 +32,18 @@ func DefaultHosts() Hosts {
 // functional options, then Run it per stack; a Fleet is reusable and every
 // Run with the same configuration produces the identical Result.
 type Fleet struct {
-	cfg     config.Machine
-	hosts   Hosts
-	arr     Arrivals
-	policy  Policy
-	probe   Probe
-	backend Backend
-	workers int
-	perCore int
-	quantum int
+	cfg         config.Machine
+	hosts       Hosts
+	arr         Arrivals
+	policy      Policy
+	probe       Probe
+	backend     Backend
+	workers     int
+	perCore     int
+	quantum     int
+	naive       bool
+	noLatencies bool
+	selfCheck   bool
 }
 
 // Option configures a Fleet.
@@ -68,6 +70,21 @@ func WithBackend(b Backend) Option { return func(f *Fleet) { f.backend = b } }
 // WithMeasureWorkers bounds the parallel fan-out of the cost-model
 // measurement (<= 0 selects one worker per distinct workload).
 func WithMeasureWorkers(n int) Option { return func(f *Fleet) { f.workers = n } }
+
+// WithReferenceScans selects the retained scan-per-event reference
+// scheduling path: every placement helper and engine lookup runs the
+// O(hosts x warm pool) linear scans the indexed engine replaced. Results
+// are identical by contract — the differential suite enforces it — so the
+// option exists only to let benchmarks and conformance tests compare the
+// two engines.
+func WithReferenceScans() Option { return func(f *Fleet) { f.naive = true } }
+
+// WithoutLatencies drops the per-invocation latency vector from the
+// Result: percentiles and the mean are still computed (by sorting the
+// samples in place instead of a copy), but Result.Latencies comes back
+// nil. At million-invocation scale the raw samples dominate the result's
+// footprint; fleet-scale sweeps that only read the aggregates opt out.
+func WithoutLatencies() Option { return func(f *Fleet) { f.noLatencies = true } }
 
 // WithTimeShare lets every core slot co-schedule up to perCore
 // invocations, round-robin with the given quantum (trace events), the way
@@ -171,7 +188,7 @@ type Result struct {
 	// P50/P99/P999 are invocation latency percentiles in cycles
 	// (completion minus arrival, queueing included); MeanLatency is the
 	// arithmetic mean. Latencies lists every invocation's latency in
-	// completion order.
+	// completion order (nil under WithoutLatencies).
 	P50, P99, P999 uint64
 	MeanLatency    float64
 	Latencies      []uint64
@@ -220,20 +237,57 @@ func (r *Result) PeakBytes() uint64 { return r.PeakPages * config.PageSize }
 
 // Cluster is the engine state a Policy observes: host occupancy, free
 // memory, and warm pools. All accessors are read-only views; the engine
-// owns every mutation.
+// owns every mutation and keeps the placement indexes (least-loaded
+// tournament, per-workload warm trees, uid map) in sync, so the
+// accelerated accessors — LeastLoadedHost, BestWarmHost, WarmFreshest,
+// OldestWarm — answer in O(1)-O(log N) what a full scan answers in
+// O(hosts x warm instances), with identical tie-breaks.
 type Cluster struct {
 	now      uint64
 	cores    int
 	perCore  int
 	memPages uint64
 	hosts    []hostState
+
+	// Placement indexes, engine-maintained. naive routes the accelerated
+	// accessors through the retained reference scans instead (see
+	// WithReferenceScans); the indexes stay maintained either way.
+	// Workload names are interned to dense ids on first sight (wids), so
+	// the per-event maintenance indexes slices instead of hashing strings.
+	ll      *llTree
+	warmIdx []*warmTree    // per-workload warm trees, by interned id
+	wids    map[string]int // workload name -> interned id
+	naive   bool
+}
+
+// widOf interns a workload name, allocating its warm tree on first sight.
+func (c *Cluster) widOf(w string) int {
+	if id, ok := c.wids[w]; ok {
+		return id
+	}
+	id := len(c.warmIdx)
+	c.wids[w] = id
+	c.warmIdx = append(c.warmIdx, newWarmTree(len(c.hosts)))
+	return id
 }
 
 type hostState struct {
 	slots   []int // co-residents per core slot
 	running int
 	used    uint64
-	warm    []warmInst
+	// warm is the host's warm pool as a head-indexed ring: live entries
+	// are warm[whead:], in warm-add order. The simulation clock is
+	// non-decreasing, so the pool is always sorted by idleSince — the LRU
+	// victim is the head, the freshest instance sits at the tail.
+	warm  []warmInst
+	whead int
+	// uidPos maps a warm instance's uid to its internal position in warm,
+	// so TTL expiry and eviction bookkeeping never scan the pool.
+	uidPos map[int]int
+	// wl lists, per interned workload id, the internal positions of that
+	// workload's warm instances in ascending (hence idleSince-sorted)
+	// order. Grown lazily as the host first sees each id.
+	wl [][]int
 	// resident counts resident instances (running plus warm) per workload;
 	// co-residents share the workload's copy-on-write warm-start base, so
 	// the first instance charges the full footprint and each sibling only
@@ -244,9 +298,12 @@ type hostState struct {
 type warmInst struct {
 	uid       int
 	workload  string
+	wid       int // interned workload id (Cluster.wids[workload])
 	pages     uint64
 	idleSince uint64
 	expireAt  uint64
+	// wslot is this instance's slot in its workload's wl position list.
+	wslot int
 	// trimmed marks a lazily-kept instance: its private pages were dropped
 	// when it went idle (a warm hit delta-restores them from the shared
 	// checkpoint base), so it holds only its share of the base. Only
@@ -280,18 +337,99 @@ func (c *Cluster) FreePages(h int) uint64 { return c.memPages - c.hosts[h].used 
 func (c *Cluster) UsedPages(h int) uint64 { return c.hosts[h].used }
 
 // WarmCount is the size of the host's warm pool.
-func (c *Cluster) WarmCount(h int) int { return len(c.hosts[h].warm) }
+func (c *Cluster) WarmCount(h int) int { return len(c.hosts[h].warm) - c.hosts[h].whead }
 
-// WarmAt describes one warm instance of the host's pool.
+// WarmAt describes one warm instance of the host's pool. Pool indexes run
+// in warm-add order, which is also ascending IdleSince order.
 func (c *Cluster) WarmAt(h, i int) Warm {
-	w := c.hosts[h].warm[i]
+	w := c.hosts[h].warm[c.hosts[h].whead+i]
 	return Warm{Workload: w.workload, Pages: w.pages, IdleSince: w.idleSince, ExpireAt: w.expireAt}
 }
 
-// event kinds, processed in (time, seq) order.
+// LeastLoadedHost is the accelerated PlaceLeastLoaded query: the host
+// with a free core slot running the fewest invocations (ties toward more
+// free pages, then the lower index), or -1 when every slot is busy. O(1)
+// off the least-loaded tournament tree.
+func (c *Cluster) LeastLoadedHost() int {
+	if c.naive {
+		return c.refLeastLoaded()
+	}
+	return c.ll.best()
+}
+
+// BestWarmHost is the accelerated cross-host half of PlaceWarmFirst: the
+// host with a free core slot holding the most-recently-idled warm
+// instance for the workload (ties toward the lower host index), or -1
+// when no such instance exists anywhere. O(1) off the workload's warm
+// tournament tree.
+func (c *Cluster) BestWarmHost(workload string) int {
+	if c.naive {
+		return c.refBestWarmHost(workload)
+	}
+	id, ok := c.wids[workload]
+	if !ok {
+		return -1
+	}
+	return c.warmIdx[id].best()
+}
+
+// WarmFreshest is the accelerated within-host warm lookup: the pool index
+// (as seen by WarmAt) of host h's most-recently-idled warm instance for
+// the workload, or -1 when none. Ties reproduce a low-to-high scan with a
+// strict comparison — the first instance of the maximal IdleSince run —
+// in O(log warm pool).
+func (c *Cluster) WarmFreshest(h int, workload string) int {
+	if c.naive {
+		return c.refWarmFreshest(h, workload)
+	}
+	id, ok := c.wids[workload]
+	if !ok {
+		return -1
+	}
+	host := &c.hosts[h]
+	var wl []int
+	if id < len(host.wl) {
+		wl = host.wl[id]
+	}
+	if len(wl) == 0 {
+		return -1
+	}
+	maxIdle := host.warm[wl[len(wl)-1]].idleSince
+	// Positions in wl ascend and idleSince along them is non-decreasing
+	// (the pool sort invariant), so binary-search the first entry of the
+	// maximal run.
+	lo, hi := 0, len(wl)-1
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if host.warm[wl[mid]].idleSince == maxIdle {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return wl[lo] - host.whead
+}
+
+// OldestWarm is the accelerated VictimLRU query: the pool index of host
+// h's least-recently-used warm instance (lowest IdleSince, ties toward
+// the lower index), or -1 for an empty pool. The pool sort invariant
+// makes this the head — O(1).
+func (c *Cluster) OldestWarm(h int) int {
+	if c.naive {
+		return c.refVictimLRU(h)
+	}
+	if c.WarmCount(h) == 0 {
+		return -1
+	}
+	return 0
+}
+
+// event kinds, processed in (time, seq) order. Arrivals are not heap
+// events: they feed from the time-sorted trace through a cursor and win
+// ties against same-time completions and expiries (in the heap-fed engine
+// every arrival was pushed first, so its seq was lower).
 const (
-	evArrival = iota
-	evCompletion
+	evCompletion = iota
 	evExpiry
 )
 
@@ -307,41 +445,156 @@ type event struct {
 	ded  uint64 // dispatch time (completion events)
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].time != h[j].time {
-		return h[i].time < h[j].time
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
-}
-
 // engine is the per-Run mutable state.
 type engine struct {
 	f       *Fleet
 	stack   machine.Stack
 	c       Cluster
 	costs   map[string]Cost
-	events  eventHeap
+	events  eventQueue
 	seq     int
-	pending []Invocation
+	pending pendingRing
 	uid     int
+	// selfCheck cross-checks every indexed accessor against its reference
+	// scan after each event (Conformance turns it on).
+	selfCheck bool
 
 	res        *Result
 	lastMemT   uint64
 	pageCycles uint64
 	curPages   uint64
 	curShared  uint64
+}
+
+// slotFree reports whether host h can admit another invocation.
+func (e *engine) slotFree(h int) bool {
+	return e.c.hosts[h].running < e.c.cores*e.c.perCore
+}
+
+// syncHostLL re-keys host h in the least-loaded tree after a running or
+// used-pages change.
+func (e *engine) syncHostLL(h int) {
+	host := &e.c.hosts[h]
+	e.c.ll.update(h, host.running, e.c.memPages-host.used, e.slotFree(h))
+}
+
+// syncWarmLeaf re-keys host h in workload wid's warm tree: the host's
+// freshest matching idle time when it holds one and has a free slot,
+// ineligible otherwise.
+func (e *engine) syncWarmLeaf(h, wid int) {
+	host := &e.c.hosts[h]
+	t := e.c.warmIdx[wid]
+	var wl []int
+	if wid < len(host.wl) {
+		wl = host.wl[wid]
+	}
+	if len(wl) == 0 || !e.slotFree(h) {
+		t.update(h, 0, false)
+		return
+	}
+	t.update(h, host.warm[wl[len(wl)-1]].idleSince, true)
+}
+
+// setRunning adjusts host h's running count, keeping the indexes in sync.
+// Crossing the all-slots-busy boundary flips the host's eligibility in
+// every warm tree it appears in (the per-tree updates are independent, so
+// map iteration order cannot affect the outcome).
+func (e *engine) setRunning(h, delta int) {
+	host := &e.c.hosts[h]
+	wasFree := e.slotFree(h)
+	host.running += delta
+	e.syncHostLL(h)
+	if free := e.slotFree(h); free != wasFree {
+		// The per-tree updates are independent, so order cannot matter.
+		for wid, wl := range host.wl {
+			if len(wl) == 0 {
+				continue
+			}
+			if t := e.c.warmIdx[wid]; free {
+				t.update(h, host.warm[wl[len(wl)-1]].idleSince, true)
+			} else {
+				t.update(h, 0, false)
+			}
+		}
+	}
+}
+
+// setUsed adjusts host h's resident pages, re-keying the free-pages
+// tie-break in the least-loaded tree.
+func (e *engine) setUsed(h int, delta int64) {
+	host := &e.c.hosts[h]
+	host.used = uint64(int64(host.used) + delta)
+	e.syncHostLL(h)
+}
+
+// warmAdd appends a warm instance to host h's pool and indexes it. The
+// simulation clock is non-decreasing, so appending preserves the pool's
+// idleSince sort.
+func (e *engine) warmAdd(h int, w warmInst) {
+	host := &e.c.hosts[h]
+	w.wid = e.c.widOf(w.workload)
+	for len(host.wl) <= w.wid {
+		host.wl = append(host.wl, nil)
+	}
+	pos := len(host.warm)
+	wl := host.wl[w.wid]
+	w.wslot = len(wl)
+	host.warm = append(host.warm, w)
+	host.wl[w.wid] = append(wl, pos)
+	host.uidPos[w.uid] = pos
+	e.syncWarmLeaf(h, w.wid)
+}
+
+// warmRemove removes the warm instance at pool index i (as seen by
+// WarmAt) from host h and returns it. A head removal — the LRU victim and
+// most TTL expiries — is O(1); a middle removal splices and re-indexes
+// only the shifted tail. The dead prefix is compacted once it dominates
+// the ring, so long runs do not pin retired entries.
+func (e *engine) warmRemove(h, i int) warmInst {
+	host := &e.c.hosts[h]
+	pos := host.whead + i
+	w := host.warm[pos]
+
+	// Drop pos from its workload's position list and re-slot the tail.
+	wl := host.wl[w.wid]
+	copy(wl[w.wslot:], wl[w.wslot+1:])
+	wl = wl[:len(wl)-1]
+	host.wl[w.wid] = wl
+	for k := w.wslot; k < len(wl); k++ {
+		host.warm[wl[k]].wslot = k
+	}
+	delete(host.uidPos, w.uid)
+
+	if pos == host.whead {
+		host.warm[pos] = warmInst{} // release the dead entry's strings
+		host.whead++
+	} else {
+		copy(host.warm[pos:], host.warm[pos+1:])
+		host.warm = host.warm[:len(host.warm)-1]
+		for j := pos; j < len(host.warm); j++ {
+			s := &host.warm[j]
+			host.uidPos[s.uid] = j
+			host.wl[s.wid][s.wslot] = j
+		}
+	}
+	if host.whead == len(host.warm) {
+		host.warm = host.warm[:0]
+		host.whead = 0
+	} else if host.whead >= 64 && host.whead*2 >= len(host.warm) {
+		live := copy(host.warm, host.warm[host.whead:])
+		for j := live; j < len(host.warm); j++ {
+			host.warm[j] = warmInst{}
+		}
+		host.warm = host.warm[:live]
+		for j := 0; j < live; j++ {
+			s := &host.warm[j]
+			host.uidPos[s.uid] = j
+			host.wl[s.wid][s.wslot] = j
+		}
+		host.whead = 0
+	}
+	e.syncWarmLeaf(h, w.wid)
+	return w
 }
 
 // neededPages is what admitting one more instance of workload w on host h
@@ -418,14 +671,18 @@ func (f *Fleet) Run(stack machine.Stack) (*Result, error) {
 	}
 
 	e := &engine{
-		f:     f,
-		stack: stack,
-		costs: costs,
+		f:         f,
+		stack:     stack,
+		costs:     costs,
+		selfCheck: f.selfCheck,
 		c: Cluster{
 			cores:    f.hosts.Cores,
 			perCore:  f.perCore,
 			memPages: f.hosts.MemPages,
 			hosts:    make([]hostState, f.hosts.Count),
+			ll:       newLLTree(f.hosts.Count),
+			wids:     make(map[string]int, len(costs)),
+			naive:    f.naive,
 		},
 		res: &Result{
 			Policy:  f.policy.Name(),
@@ -435,21 +692,22 @@ func (f *Fleet) Run(stack machine.Stack) (*Result, error) {
 		},
 	}
 	for i := range e.c.hosts {
-		e.c.hosts[i].slots = make([]int, f.hosts.Cores)
-		e.c.hosts[i].resident = make(map[string]int)
+		host := &e.c.hosts[i]
+		host.slots = make([]int, f.hosts.Cores)
+		host.resident = make(map[string]int)
+		host.uidPos = make(map[int]int)
+		e.c.ll.update(i, 0, f.hosts.MemPages, true)
 	}
 	for name := range costs {
 		e.res.SnapshotBytes += costs[name].SnapshotBytes
 	}
-	for _, inv := range invs {
-		e.push(event{time: inv.Arrival, kind: evArrival, inv: inv})
-	}
-	if err := e.loop(); err != nil {
+	if err := e.loop(invs); err != nil {
 		return nil, err
 	}
-	if len(e.pending) > 0 {
+	if e.pending.len() > 0 {
+		head := e.pending.front()
 		return nil, fmt.Errorf("fleet: %d invocations unschedulable under policy %s (head: %s needing %d pages)",
-			len(e.pending), f.policy.Name(), e.pending[0].Workload, costs[e.pending[0].Workload].FootprintPages)
+			e.pending.len(), f.policy.Name(), head.Workload, costs[head.Workload].FootprintPages)
 	}
 	e.finishResult()
 	e.res.SnapshotRestores = f.backend.Restores() - restores0
@@ -514,7 +772,7 @@ func (f *Fleet) measure(invs []Invocation, stack machine.Stack) (map[string]Cost
 func (e *engine) push(ev event) {
 	ev.seq = e.seq
 	e.seq++
-	heap.Push(&e.events, ev)
+	e.events.push(ev)
 }
 
 // memDelta applies one aggregate-memory change at the current time,
@@ -531,29 +789,44 @@ func (e *engine) memDelta(delta int64) {
 	}
 }
 
-func (e *engine) loop() error {
-	heap.Init(&e.events)
-	for e.events.Len() > 0 {
-		ev := heap.Pop(&e.events).(event)
-		e.c.now = ev.time
-		switch ev.kind {
-		case evArrival:
-			placed, err := e.tryPlace(ev.inv)
+// loop is the discrete-event core: arrivals feed from the already
+// time-sorted trace through a cursor, merged against the
+// completion/expiry heap. At equal times an arrival goes first — the same
+// order the heap-fed engine produced, where every arrival was pushed
+// before any dynamic event and so carried a lower seq.
+func (e *engine) loop(invs []Invocation) error {
+	next := 0
+	for next < len(invs) || len(e.events) > 0 {
+		if next < len(invs) && (len(e.events) == 0 || invs[next].Arrival <= e.events[0].time) {
+			inv := invs[next]
+			next++
+			e.c.now = inv.Arrival
+			placed, err := e.tryPlace(inv)
 			if err != nil {
 				return err
 			}
 			if !placed {
-				e.pending = append(e.pending, ev.inv)
-				if len(e.pending) > e.res.MaxQueue {
-					e.res.MaxQueue = len(e.pending)
+				e.pending.push(inv)
+				if n := e.pending.len(); n > e.res.MaxQueue {
+					e.res.MaxQueue = n
 				}
 			}
-		case evCompletion:
-			if err := e.complete(ev); err != nil {
-				return err
+		} else {
+			ev := e.events.pop()
+			e.c.now = ev.time
+			switch ev.kind {
+			case evCompletion:
+				if err := e.complete(ev); err != nil {
+					return err
+				}
+			case evExpiry:
+				if err := e.expire(ev); err != nil {
+					return err
+				}
 			}
-		case evExpiry:
-			if err := e.expire(ev); err != nil {
+		}
+		if e.selfCheck {
+			if err := e.verifyIndexes(); err != nil {
 				return err
 			}
 		}
@@ -581,49 +854,40 @@ func (e *engine) tryPlace(inv Invocation) (bool, error) {
 	cost := e.costs[inv.Workload]
 
 	// Consume the freshest matching warm instance, if any.
-	warmIdx := -1
-	for i, w := range host.warm {
-		if w.workload != inv.Workload {
-			continue
-		}
-		if warmIdx == -1 || w.idleSince > host.warm[warmIdx].idleSince {
-			warmIdx = i
-		}
-	}
+	warmIdx := e.c.WarmFreshest(h, inv.Workload)
 	warm := warmIdx >= 0
-	if warm && host.warm[warmIdx].trimmed {
+	if warm && host.warm[host.whead+warmIdx].trimmed {
 		// A trimmed instance dropped its private pages when it went idle;
 		// the delta restore copies them back, so re-charge them (evicting
-		// under pressure like a cold placement would).
+		// under pressure like a cold placement would). Track the target by
+		// uid: evictions may shift its pool index.
+		targetUID := host.warm[host.whead+warmIdx].uid
 		private := cost.FootprintPages - cost.SharedPages
 		for e.c.FreePages(h) < private {
 			v := e.f.policy.Victim(&e.c, h)
 			if v == -1 {
 				return false, nil
 			}
-			if v < -1 || v >= len(host.warm) {
+			if v < -1 || v >= e.c.WarmCount(h) {
 				return false, fmt.Errorf("fleet: policy %s evicted warm index %d of %d on host %d",
-					e.f.policy.Name(), v, len(host.warm), h)
+					e.f.policy.Name(), v, e.c.WarmCount(h), h)
 			}
-			sacrificed := host.warm[v].uid == host.warm[warmIdx].uid
 			e.evict(h, v, "pressure")
-			if sacrificed {
+			if _, ok := host.uidPos[targetUID]; !ok {
 				// The policy evicted the very instance we were about to
 				// hit; fall back to a cold placement.
 				warm = false
 				break
 			}
-			if v < warmIdx {
-				warmIdx--
-			}
 		}
 		if warm {
-			host.used += private
+			warmIdx = host.uidPos[targetUID] - host.whead
+			e.setUsed(h, int64(private))
 			e.memDelta(int64(private))
 		}
 	}
 	if warm {
-		host.warm = append(host.warm[:warmIdx], host.warm[warmIdx+1:]...)
+		e.warmRemove(h, warmIdx)
 		// The base stays resident and aliased; the warm hit copies only the
 		// measured delta-restore bytes.
 		e.res.RestoreBytes += cost.RestoreBytes
@@ -633,14 +897,14 @@ func (e *engine) tryPlace(inv Invocation) (bool, error) {
 			if v == -1 {
 				return false, nil
 			}
-			if v < -1 || v >= len(host.warm) {
+			if v < -1 || v >= e.c.WarmCount(h) {
 				return false, fmt.Errorf("fleet: policy %s evicted warm index %d of %d on host %d",
-					e.f.policy.Name(), v, len(host.warm), h)
+					e.f.policy.Name(), v, e.c.WarmCount(h), h)
 			}
 			e.evict(h, v, "pressure")
 		}
 		pages := e.chargePages(h, inv.Workload)
-		host.used += pages
+		e.setUsed(h, int64(pages))
 		e.memDelta(int64(pages))
 	}
 
@@ -652,7 +916,7 @@ func (e *engine) tryPlace(inv Invocation) (bool, error) {
 		}
 	}
 	host.slots[slot]++
-	host.running++
+	e.setRunning(h, 1)
 	k := host.slots[slot]
 
 	var base uint64
@@ -679,7 +943,7 @@ func (e *engine) tryPlace(inv Invocation) (bool, error) {
 func (e *engine) complete(ev event) error {
 	host := &e.c.hosts[ev.host]
 	host.slots[ev.slot]--
-	host.running--
+	e.setRunning(ev.host, -1)
 
 	lat := ev.time - ev.inv.Arrival
 	e.res.Latencies = append(e.res.Latencies, lat)
@@ -693,7 +957,7 @@ func (e *engine) complete(ev event) error {
 	ttl := e.f.policy.KeepWarmTTL(&e.c, ev.inv)
 	if ttl == 0 {
 		pages := e.releasePages(ev.host, ev.inv.Workload, false)
-		host.used -= pages
+		e.setUsed(ev.host, -int64(pages))
 		e.memDelta(-int64(pages))
 	} else {
 		w := warmInst{
@@ -708,7 +972,7 @@ func (e *engine) complete(ev event) error {
 			// base there is nothing to restore from, so the instance must
 			// stay fully resident.
 			private := cost.FootprintPages - cost.SharedPages
-			host.used -= private
+			e.setUsed(ev.host, -int64(private))
 			e.memDelta(-int64(private))
 			w.pages = cost.SharedPages
 			w.trimmed = true
@@ -718,35 +982,34 @@ func (e *engine) complete(ev event) error {
 			w.expireAt = e.c.now + ttl
 			e.push(event{time: w.expireAt, kind: evExpiry, host: ev.host, uid: w.uid})
 		}
-		host.warm = append(host.warm, w)
+		e.warmAdd(ev.host, w)
 	}
 	return e.drainPending()
 }
 
 // expire drops a warm instance whose keep-alive deadline passed, unless a
-// warm hit already consumed it.
+// warm hit already consumed it. The uid map makes the lookup O(1).
 func (e *engine) expire(ev event) error {
 	host := &e.c.hosts[ev.host]
-	for i, w := range host.warm {
-		if w.uid == ev.uid {
-			e.evict(ev.host, i, "ttl")
-			return e.drainPending()
-		}
+	pos, ok := host.uidPos[ev.uid]
+	if !ok {
+		return nil
 	}
-	return nil
+	e.evict(ev.host, pos-host.whead, "ttl")
+	return e.drainPending()
 }
 
 // drainPending replays the FIFO queue head-first against freed capacity.
 func (e *engine) drainPending() error {
-	for len(e.pending) > 0 {
-		placed, err := e.tryPlace(e.pending[0])
+	for e.pending.len() > 0 {
+		placed, err := e.tryPlace(e.pending.front())
 		if err != nil {
 			return err
 		}
 		if !placed {
 			return nil
 		}
-		e.pending = e.pending[1:]
+		e.pending.pop()
 	}
 	return nil
 }
@@ -755,11 +1018,9 @@ func (e *engine) drainPending() error {
 // released depend on sharing: a trimmed instance holds only base share,
 // and a sibling keeping the base resident makes any eviction cheaper.
 func (e *engine) evict(h, i int, reason string) {
-	host := &e.c.hosts[h]
-	w := host.warm[i]
-	host.warm = append(host.warm[:i], host.warm[i+1:]...)
+	w := e.warmRemove(h, i)
 	pages := e.releasePages(h, w.workload, w.trimmed)
-	host.used -= pages
+	e.setUsed(h, -int64(pages))
 	e.memDelta(-int64(pages))
 	evn := Eviction{Time: e.c.now, Host: h, Workload: w.workload, Pages: pages, Reason: reason}
 	e.res.Evictions = append(e.res.Evictions, evn)
@@ -768,7 +1029,10 @@ func (e *engine) evict(h, i int, reason string) {
 	}
 }
 
-// finishResult folds the raw samples into the reported aggregates.
+// finishResult folds the raw samples into the reported aggregates: one
+// pass accumulates the mean while staging the percentile input, which is
+// the samples themselves (sorted in place) under WithoutLatencies and a
+// copy when the caller keeps Latencies in completion order.
 func (e *engine) finishResult() {
 	r := e.res
 	r.Invocations = len(r.Latencies)
@@ -777,16 +1041,24 @@ func (e *engine) finishResult() {
 	if e.c.now > 0 {
 		r.MeanPages = float64(e.pageCycles) / float64(e.c.now)
 	}
-	sorted := make([]uint64, len(r.Latencies))
-	copy(sorted, r.Latencies)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum uint64
+	sorted := r.Latencies
+	if e.f.noLatencies {
+		for _, l := range sorted {
+			sum += l
+		}
+		r.Latencies = nil
+	} else {
+		sorted = make([]uint64, len(r.Latencies))
+		for i, l := range r.Latencies {
+			sorted[i] = l
+			sum += l
+		}
+	}
+	slices.Sort(sorted)
 	r.P50 = stats.PercentileUint64(sorted, 0.50)
 	r.P99 = stats.PercentileUint64(sorted, 0.99)
 	r.P999 = stats.PercentileUint64(sorted, 0.999)
-	var sum uint64
-	for _, l := range sorted {
-		sum += l
-	}
 	if len(sorted) > 0 {
 		r.MeanLatency = float64(sum) / float64(len(sorted))
 	}

@@ -1,0 +1,220 @@
+package fleet
+
+// Incremental indexes for the scheduling hot path. The scan-per-event
+// engine spent O(hosts x warm instances) on every arrival; these
+// structures answer the same queries in O(1)-O(log N) and are maintained
+// on each engine mutation. Determinism is the contract: every tie-break
+// reproduces the corresponding linear scan exactly (left subtrees cover
+// lower host indexes, so preferring the left child on a tie is the same
+// as a low-to-high scan keeping the first maximum), which reference.go
+// checks differentially.
+
+// llNode is one node of the least-loaded tournament tree: the best
+// placement candidate in the node's host range, or host == -1 when no
+// host in range has a free core slot.
+type llNode struct {
+	free    uint64 // host's free pages (tie-break)
+	running int32  // host's running count (primary key)
+	host    int32  // winning host index, -1 = none eligible
+}
+
+// llBetter merges two subtree winners: fewer running invocations wins,
+// ties break toward more free pages, then toward the left child — the
+// lower host index, matching PlaceLeastLoaded's scan order.
+func llBetter(l, r llNode) llNode {
+	if r.host < 0 {
+		return l
+	}
+	if l.host < 0 {
+		return r
+	}
+	if r.running < l.running || (r.running == l.running && r.free > l.free) {
+		return r
+	}
+	return l
+}
+
+// llTree indexes hosts for PlaceLeastLoaded: hosts bucket by running
+// count (the primary comparison key) and the tournament resolves the
+// free-pages/lower-index tie-breaks. Point updates are O(log hosts), the
+// best host is read off the root in O(1).
+type llTree struct {
+	size  int      // leaf count, power of two >= NumHosts
+	nodes []llNode // 2*size nodes; leaf h lives at size+h
+}
+
+func newLLTree(hosts int) *llTree {
+	size := 1
+	for size < hosts {
+		size <<= 1
+	}
+	t := &llTree{size: size, nodes: make([]llNode, 2*size)}
+	for i := range t.nodes {
+		t.nodes[i].host = -1
+	}
+	return t
+}
+
+// update re-keys host h. eligible is false when the host has no free core
+// slot, removing it from every query until a slot frees up.
+func (t *llTree) update(h int, running int, free uint64, eligible bool) {
+	i := t.size + h
+	if eligible {
+		t.nodes[i] = llNode{running: int32(running), free: free, host: int32(h)}
+	} else {
+		t.nodes[i] = llNode{host: -1}
+	}
+	for i >>= 1; i >= 1; i >>= 1 {
+		t.nodes[i] = llBetter(t.nodes[2*i], t.nodes[2*i+1])
+	}
+}
+
+// best returns the host PlaceLeastLoaded would choose, or -1.
+func (t *llTree) best() int { return int(t.nodes[1].host) }
+
+// warmNode is one node of a per-workload warm tournament tree: the host
+// in range holding the freshest idle warm instance of the workload while
+// also having a free core slot.
+type warmNode struct {
+	idle uint64
+	host int32 // -1 = none eligible in this subtree
+}
+
+// warmBetter prefers the strictly fresher instance; ties go to the left
+// child — the lower host index, matching PlaceWarmFirst's scan order
+// (strict > keeps the first maximum).
+func warmBetter(l, r warmNode) warmNode {
+	if r.host < 0 {
+		return l
+	}
+	if l.host < 0 {
+		return r
+	}
+	if r.idle > l.idle {
+		return r
+	}
+	return l
+}
+
+// warmTree indexes, for one workload, each host's freshest idle warm
+// instance (hosts without a free slot are ineligible, exactly like the
+// PlaceWarmFirst scan skips them). One tree exists per workload that has
+// ever gone warm; they are created lazily.
+type warmTree struct {
+	size  int
+	nodes []warmNode
+}
+
+func newWarmTree(hosts int) *warmTree {
+	size := 1
+	for size < hosts {
+		size <<= 1
+	}
+	t := &warmTree{size: size, nodes: make([]warmNode, 2*size)}
+	for i := range t.nodes {
+		t.nodes[i].host = -1
+	}
+	return t
+}
+
+func (t *warmTree) update(h int, idle uint64, eligible bool) {
+	i := t.size + h
+	if eligible {
+		t.nodes[i] = warmNode{idle: idle, host: int32(h)}
+	} else {
+		t.nodes[i] = warmNode{host: -1}
+	}
+	for i >>= 1; i >= 1; i >>= 1 {
+		t.nodes[i] = warmBetter(t.nodes[2*i], t.nodes[2*i+1])
+	}
+}
+
+func (t *warmTree) best() int { return int(t.nodes[1].host) }
+
+// pendingRing is the FIFO queue of invocations awaiting capacity, as a
+// head-indexed ring: pops advance the head instead of reslicing, so the
+// backing array is not pinned for the run's lifetime the way
+// `pending = pending[1:]` pinned it. A fully drained queue releases a
+// large backing array outright; a part-drained one compacts once the dead
+// prefix dominates.
+type pendingRing struct {
+	buf  []Invocation
+	head int
+}
+
+func (q *pendingRing) len() int          { return len(q.buf) - q.head }
+func (q *pendingRing) front() Invocation { return q.buf[q.head] }
+
+func (q *pendingRing) push(inv Invocation) { q.buf = append(q.buf, inv) }
+
+func (q *pendingRing) pop() {
+	q.buf[q.head] = Invocation{} // release the entry's strings
+	q.head++
+	if q.head == len(q.buf) {
+		if cap(q.buf) > 64 {
+			q.buf = nil // a burst's queue must not pin memory once drained
+		} else {
+			q.buf = q.buf[:0]
+		}
+		q.head = 0
+		return
+	}
+	if q.head >= 1024 && q.head*2 >= len(q.buf) {
+		live := make([]Invocation, len(q.buf)-q.head)
+		copy(live, q.buf[q.head:])
+		q.buf, q.head = live, 0
+	}
+}
+
+// eventQueue is a hand-rolled binary min-heap over (time, seq).
+// container/heap boxes every event through an interface value — one
+// allocation per push — which at a million events dominates the loop, so
+// the engine sifts directly.
+type eventQueue []event
+
+func eventLess(a, b event) bool {
+	if a.time != b.time {
+		return a.time < b.time
+	}
+	return a.seq < b.seq
+}
+
+func (q *eventQueue) push(ev event) {
+	s := append(*q, ev)
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !eventLess(s[i], s[p]) {
+			break
+		}
+		s[i], s[p] = s[p], s[i]
+		i = p
+	}
+	*q = s
+}
+
+func (q *eventQueue) pop() event {
+	s := *q
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = event{}
+	s = s[:n]
+	*q = s
+	i := 0
+	for {
+		small := i
+		if l := 2*i + 1; l < n && eventLess(s[l], s[small]) {
+			small = l
+		}
+		if r := 2*i + 2; r < n && eventLess(s[r], s[small]) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		s[i], s[small] = s[small], s[i]
+		i = small
+	}
+	return top
+}

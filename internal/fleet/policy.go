@@ -46,25 +46,12 @@ type Policy interface {
 // PlaceWarmFirst is the placement helper the keep-warm policies share: the
 // host holding the most-recently-idled warm instance for inv's workload
 // that also has a free core slot; falling back to PlaceLeastLoaded when no
-// warm instance exists. Exported so custom policies can reuse it.
+// warm instance exists. Exported so custom policies can reuse it — it
+// reads the engine's warm index (Cluster.BestWarmHost), so a custom policy
+// built on it answers in O(1) instead of scanning every host's pool.
 func PlaceWarmFirst(c *Cluster, inv Invocation) int {
-	best, bestIdle := -1, uint64(0)
-	for h := 0; h < c.NumHosts(); h++ {
-		if c.FreeSlots(h) == 0 {
-			continue
-		}
-		for i := 0; i < c.WarmCount(h); i++ {
-			w := c.WarmAt(h, i)
-			if w.Workload != inv.Workload {
-				continue
-			}
-			if best == -1 || w.IdleSince > bestIdle {
-				best, bestIdle = h, w.IdleSince
-			}
-		}
-	}
-	if best >= 0 {
-		return best
+	if h := c.BestWarmHost(inv.Workload); h >= 0 {
+		return h
 	}
 	return PlaceLeastLoaded(c, inv)
 }
@@ -72,32 +59,17 @@ func PlaceWarmFirst(c *Cluster, inv Invocation) int {
 // PlaceLeastLoaded returns the host with a free core slot running the
 // fewest invocations, breaking ties toward more free memory, then the
 // lower index. Returns -1 when every core slot in the cluster is busy.
+// Reads the engine's least-loaded index (Cluster.LeastLoadedHost): O(1).
 func PlaceLeastLoaded(c *Cluster, _ Invocation) int {
-	best := -1
-	for h := 0; h < c.NumHosts(); h++ {
-		if c.FreeSlots(h) == 0 {
-			continue
-		}
-		if best == -1 ||
-			c.Running(h) < c.Running(best) ||
-			(c.Running(h) == c.Running(best) && c.FreePages(h) > c.FreePages(best)) {
-			best = h
-		}
-	}
-	return best
+	return c.LeastLoadedHost()
 }
 
 // VictimLRU returns the least-recently-used warm instance on the host
 // (lowest IdleSince, ties toward the lower index), or -1 for an empty
-// pool. Exported so custom policies can reuse it.
+// pool. Exported so custom policies can reuse it. The warm pool is kept
+// in idle order, so this is the pool head (Cluster.OldestWarm): O(1).
 func VictimLRU(c *Cluster, host int) int {
-	best := -1
-	for i := 0; i < c.WarmCount(host); i++ {
-		if best == -1 || c.WarmAt(host, i).IdleSince < c.WarmAt(host, best).IdleSince {
-			best = i
-		}
-	}
-	return best
+	return c.OldestWarm(host)
 }
 
 // alwaysCold never keeps instances warm: every invocation pays the full

@@ -1,14 +1,19 @@
 #!/usr/bin/env sh
 # Runs the repo's headline benchmarks — the full-sweep simulation behind
-# Table 2 and Figs 8-14 (BenchmarkSweep) and the cluster-scale scheduler
-# (BenchmarkFleet) — and writes the timings to BENCH_sweep.json.
+# Table 2 and Figs 8-14 (BenchmarkSweep), the cluster-scale scheduler
+# (BenchmarkFleet), and the fleet-scale points (BenchmarkFleetScale: 1k
+# hosts x 100k invocations and 10k hosts x 1M invocations on the indexed
+# engine; BenchmarkFleetScaleRef: the 1k point on the retained
+# reference-scan engine, the baseline for the index speedup) — and writes
+# the timings to BENCH_sweep.json.
 #
 # Usage: scripts/bench_sweep.sh [count]
 #   count  benchmark repetitions (default 3)
 #
 # Environment:
 #   COUNT      repetitions (overridden by the positional arg)
-#   BENCH      benchmark regex to run (default ^(BenchmarkSweep|BenchmarkFleet)$)
+#   BENCH      benchmark regex to run
+#              (default ^(BenchmarkSweep|BenchmarkFleet|BenchmarkFleetScale|BenchmarkFleetScaleRef)$)
 #   BENCH_OUT  output file (default BENCH_sweep.json)
 #
 # When the output file already exists, each benchmark's previous mean is
@@ -21,7 +26,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 COUNT="${1:-${COUNT:-3}}"
-BENCH="${BENCH:-^(BenchmarkSweep|BenchmarkFleet)\$}"
+BENCH="${BENCH:-^(BenchmarkSweep|BenchmarkFleet|BenchmarkFleetScale|BenchmarkFleetScaleRef)\$}"
 OUT="${BENCH_OUT:-BENCH_sweep.json}"
 RAW="$(mktemp)"
 PREV="$(mktemp)"
